@@ -1,0 +1,58 @@
+"""Ablation: batch-size limits under an SLA (batched serving DES).
+
+Connects Figure 8 to the serving layer: larger batches amortize compute
+but add queueing delay; for a fixed offered load and SLA there is an
+optimal batcher limit, and it differs by server generation.
+"""
+
+from conftest import emit
+
+from repro.analysis import format_table
+from repro.config import RMC3_SMALL
+from repro.hw import BROADWELL, SKYLAKE
+from repro.serving import SLA, batching_sweep, best_max_batch
+
+MAX_BATCHES = [1, 8, 32, 128]
+SLA_10MS = SLA(deadline_s=0.010)
+QPS = 4000
+
+
+def run_study():
+    out = {}
+    for server in (BROADWELL, SKYLAKE):
+        out[server.name] = batching_sweep(
+            server, RMC3_SMALL, offered_qps=QPS, max_batches=MAX_BATCHES,
+            sla=SLA_10MS, duration_s=0.5,
+        )
+    return out
+
+
+def test_ablation_batching_sla(benchmark):
+    sweeps = benchmark.pedantic(run_study, iterations=1, rounds=1)
+    rows = []
+    for server_name, results in sweeps.items():
+        for r in results:
+            summary = r.summary()
+            rows.append(
+                [
+                    server_name,
+                    r.max_batch,
+                    f"{r.mean_batch_size:.1f}",
+                    f"{summary.p50 * 1e3:.2f}",
+                    f"{summary.p99 * 1e3:.2f}",
+                    f"{r.throughput_items_per_s():,.0f}",
+                    "yes" if r.meets(SLA_10MS) else "NO",
+                ]
+            )
+    emit(
+        f"Ablation: RMC3 batching under a 10 ms SLA at {QPS} qps",
+        format_table(
+            ["server", "max batch", "mean batch", "p50 ms", "p99 ms",
+             "items/s", "meets SLA"],
+            rows,
+        ),
+    )
+    for server_name, results in sweeps.items():
+        best = best_max_batch(results, SLA_10MS)
+        assert best is not None, f"{server_name} cannot meet the SLA"
+        assert best.max_batch > 1  # batching is worth it at this load

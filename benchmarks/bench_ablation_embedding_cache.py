@@ -1,0 +1,68 @@
+"""Ablation: software embedding-cache policies on Figure-14 traces.
+
+The locality the paper measures in production traces is only useful if a
+cache can capture it: replay high- and low-locality traces through LRU,
+LFU and pinned-hot-set row caches and compare hit ratios and the resulting
+predicted RMC2 latency.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis import format_table
+from repro.config import RMC2_SMALL
+from repro.data import synthetic_production_traces
+from repro.hw import BROADWELL, TimingModel
+from repro.memory import LfuRowCache, LruRowCache, StaticHotRowCache
+
+CAPACITY_ROWS = 50_000
+
+
+def run_study():
+    traces = synthetic_production_traces(table_rows=1_000_000, length=25_000)
+    picks = [traces[1], traces[5], traces[9]]  # low / medium / high locality
+    timing = TimingModel(BROADWELL)
+    rows = []
+    for trace in picks:
+        half = trace.ids.size // 2
+        profile, evaluate = trace.ids[:half], trace.ids[half:]
+        results = {
+            "LRU": LruRowCache(CAPACITY_ROWS).replay(evaluate),
+            "LFU": LfuRowCache(CAPACITY_ROWS).replay(evaluate),
+            "StaticHot": StaticHotRowCache.from_profile(
+                profile, CAPACITY_ROWS
+            ).replay(evaluate),
+        }
+        best = max(results.values(), key=lambda r: r.hit_ratio)
+        latency = timing.model_latency(
+            RMC2_SMALL, 16, locality_hit_ratio=best.hit_ratio
+        ).total_seconds
+        rows.append(
+            [
+                trace.name,
+                f"{100 * trace.unique_fraction():.0f}%",
+                f"{100 * results['LRU'].hit_ratio:.0f}%",
+                f"{100 * results['LFU'].hit_ratio:.0f}%",
+                f"{100 * results['StaticHot'].hit_ratio:.0f}%",
+                f"{latency * 1e3:.2f} ms",
+            ]
+        )
+    baseline = timing.model_latency(RMC2_SMALL, 16).total_seconds
+    return rows, baseline
+
+
+def test_ablation_embedding_cache(benchmark):
+    rows, baseline = benchmark.pedantic(run_study, iterations=1, rounds=1)
+    emit(
+        "Ablation: embedding-cache policies "
+        f"({CAPACITY_ROWS} rows; baseline RMC2 {baseline * 1e3:.2f} ms)",
+        format_table(
+            ["trace", "unique", "LRU hits", "LFU hits", "pinned hits",
+             "RMC2 latency (best)"],
+            rows,
+        ),
+    )
+    # High-locality traces must be well captured by at least one policy.
+    assert int(rows[-1][2].rstrip("%")) > 60
+    # Near-random traces cannot be cached.
+    assert int(rows[0][2].rstrip("%")) < 25

@@ -1,0 +1,42 @@
+"""Ablation: end-to-end benefit of a standalone FC accelerator.
+
+Quantifies the paper's Takeaway 2/5: matrix-multiplication accelerators
+"will provide limited benefits on end-to-end performance" for
+recommendation — the embedding-dominated RMC2 barely moves even with an
+infinitely fast FC engine, while the compute-bound RMC3 gains nearly its
+full Amdahl limit.
+"""
+
+from conftest import emit
+
+from repro.analysis import format_table
+from repro.config import RMC1_SMALL, RMC2_SMALL, RMC3_SMALL
+from repro.hw import BROADWELL, speedup_sweep
+
+SPEEDUPS = [2.0, 10.0, 100.0]
+
+
+def run_sweep():
+    return speedup_sweep(
+        BROADWELL, [RMC1_SMALL, RMC2_SMALL, RMC3_SMALL], 16, SPEEDUPS
+    )
+
+
+def test_ablation_fc_accelerator(benchmark):
+    sweeps = benchmark(run_sweep)
+    rows = []
+    for name, results in sweeps.items():
+        row = [name, f"{100 * results[0].fc_share:.0f}%"]
+        row += [f"{r.end_to_end_speedup:.2f}x" for r in results]
+        row.append(f"{results[0].amdahl_limit:.2f}x")
+        rows.append(row)
+    emit(
+        "Ablation: FC accelerator end-to-end speedup (batch 16, Broadwell)",
+        format_table(
+            ["model", "FC share"] + [f"{s:g}x FC" for s in SPEEDUPS] + ["Amdahl limit"],
+            rows,
+        ),
+    )
+    by_name = {name: results for name, results in sweeps.items()}
+    assert by_name["RMC2-small"][-1].end_to_end_speedup < 1.3
+    assert by_name["RMC3-small"][-1].end_to_end_speedup > 5.0

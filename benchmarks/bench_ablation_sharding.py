@@ -1,0 +1,43 @@
+"""Ablation: distributed (sharded) inference scaling for RMC2.
+
+Splitting the 5 GB of embedding tables across shard servers parallelizes
+the SLS work and can even make per-shard slices LLC-resident; returns
+diminish once network transfer and the (unsharded) dense compute dominate.
+"""
+
+from conftest import emit
+
+from repro.analysis import format_table
+from repro.config import RMC2_SMALL
+from repro.hw import BROADWELL
+from repro.serving import sharding_sweep
+
+SHARDS = [1, 2, 4, 8, 16]
+
+
+def test_ablation_sharding(benchmark):
+    results = benchmark(
+        sharding_sweep, BROADWELL, RMC2_SMALL, 32, SHARDS
+    )
+    rows = [
+        [
+            r.num_shards,
+            f"{r.slowest_shard_seconds * 1e3:.2f}",
+            f"{r.network_seconds * 1e6:.0f}",
+            f"{r.dense_seconds * 1e3:.2f}",
+            f"{r.total_seconds * 1e3:.2f}",
+            f"{results[0].total_seconds / r.total_seconds:.2f}x",
+        ]
+        for r in results
+    ]
+    emit(
+        "Ablation: sharded RMC2 inference (batch 32, Broadwell shards)",
+        format_table(
+            ["shards", "SLS ms", "network us", "dense ms", "total ms", "speedup"],
+            rows,
+        ),
+    )
+    totals = [r.total_seconds for r in results]
+    assert totals[1] < totals[0]
+    # Diminishing returns: the last doubling gains less than the first.
+    assert totals[0] / totals[1] > totals[-2] / totals[-1]

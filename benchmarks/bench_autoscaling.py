@@ -1,0 +1,40 @@
+"""Autoscaling bench: reactive scaling vs peak provisioning on diurnal load."""
+
+from conftest import emit
+
+from repro.analysis import format_table
+from repro.config import RMC2_SMALL
+from repro.hw import BROADWELL
+from repro.serving import Autoscaler, DiurnalLoad, static_provisioning
+
+
+def run_study():
+    scaler = Autoscaler(BROADWELL, RMC2_SMALL, batch_size=32)
+    load = DiurnalLoad(peak_items_per_s=30 * scaler.replica_capacity)
+    return scaler, load, scaler.run(load), static_provisioning(scaler, load)
+
+
+def test_autoscaling(benchmark):
+    scaler, load, dynamic, static = benchmark(run_study)
+    rows = [
+        [
+            "static (peak)",
+            static.peak_replicas,
+            f"{static.machine_hours:.0f}",
+            f"{100 * static.violation_fraction:.1f}%",
+        ],
+        [
+            "reactive",
+            dynamic.peak_replicas,
+            f"{dynamic.machine_hours:.0f}",
+            f"{100 * dynamic.violation_fraction:.1f}%",
+        ],
+    ]
+    emit(
+        "Autoscaling RMC2 replicas over one diurnal cycle",
+        format_table(["policy", "peak replicas", "machine-hours", "SLA violations"], rows)
+        + f"\nsavings: {100 * (1 - dynamic.machine_hours / static.machine_hours):.0f}% "
+        f"machine-hours",
+    )
+    assert dynamic.machine_hours < static.machine_hours
+    assert dynamic.violation_fraction < 0.1

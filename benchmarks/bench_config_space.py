@@ -1,0 +1,15 @@
+"""Config-space bench (Figure 13): watching the bottleneck move."""
+
+from conftest import emit
+
+from repro.experiments import config_space
+
+
+def test_config_space(benchmark):
+    result = benchmark(config_space.run)
+    emit("Configuration-space exploration (Figure 13)", config_space.render(result))
+    lookups = result.sweep("lookups")
+    assert lookups[0].dominant_op == "FC"
+    assert lookups[-1].dominant_op == "SLS"
+    width = result.sweep("bottom_width")
+    assert width[-1].fc_share > 0.9

@@ -1,0 +1,49 @@
+"""Energy bench: joules per ranked item across server generations.
+
+An architectural-implications companion to Figure 8: the latency winner at
+each operating point is usually also the energy winner, because energy is
+dominated by (power x time); DRAM-heavy models additionally pay per-byte
+DRAM energy, worst on Haswell's DDR3.
+"""
+
+from conftest import emit
+
+from repro.analysis import format_table
+from repro.config import RMC1_SMALL, RMC2_SMALL, RMC3_SMALL
+from repro.hw import efficiency_comparison
+
+
+def run_study():
+    out = {}
+    for config in (RMC1_SMALL, RMC2_SMALL, RMC3_SMALL):
+        for batch in (16, 256):
+            out[(config.name, batch)] = efficiency_comparison(config, batch)
+    return out
+
+
+def test_energy_efficiency(benchmark):
+    results = benchmark(run_study)
+    rows = []
+    for (model, batch), estimates in results.items():
+        best = max(estimates.values(), key=lambda e: e.items_per_joule)
+        row = [model, batch]
+        for name in ("Haswell", "Broadwell", "Skylake"):
+            row.append(f"{1e3 * estimates[name].joules_per_item:.3f}")
+        row.append(best.server_name)
+        rows.append(row)
+    emit(
+        "Energy efficiency: mJ per ranked item",
+        format_table(
+            ["model", "batch", "Haswell", "Broadwell", "Skylake", "best"], rows
+        ),
+    )
+    # Broadwell's latency edge at batch 16 carries over to energy.
+    b16 = results[("RMC2-small", 16)]
+    assert max(b16.values(), key=lambda e: e.items_per_joule).server_name == "Broadwell"
+    # Larger batches always improve energy per item.
+    for model in ("RMC1-small", "RMC2-small", "RMC3-small"):
+        for server in ("Haswell", "Broadwell", "Skylake"):
+            assert (
+                results[(model, 256)][server].joules_per_item
+                < results[(model, 16)][server].joules_per_item
+            )

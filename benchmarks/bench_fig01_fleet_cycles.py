@@ -1,0 +1,12 @@
+"""Figure 1 bench: fleet cycle shares by model class."""
+
+from conftest import emit
+
+from repro.experiments import fig01_cycles
+
+
+def test_fig01_fleet_cycles(benchmark):
+    result = benchmark(fig01_cycles.run)
+    emit("Figure 1: AI inference cycles by model class", fig01_cycles.render(result))
+    assert abs(result.rmc_core_share - 0.65) < 0.02
+    assert result.recommendation_share >= 0.78

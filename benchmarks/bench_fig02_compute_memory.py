@@ -1,0 +1,13 @@
+"""Figure 2 bench: per-inference FLOPs and bytes across workloads."""
+
+from conftest import emit
+
+from repro.experiments import fig02_flops_bytes
+
+
+def test_fig02_compute_memory(benchmark):
+    result = benchmark(fig02_flops_bytes.run)
+    emit("Figure 2: compute vs memory requirements", fig02_flops_bytes.render(result))
+    points = result.by_name()
+    assert points["RMC2-small"].storage_bytes > 100 * points["MLPerf-NCF"].storage_bytes
+    assert points["ResNet50"].operational_intensity > 10

@@ -1,0 +1,14 @@
+"""Figure 4 bench: data-center-wide cycle share per operator."""
+
+from conftest import emit
+
+from repro.experiments import fig04_operator_cycles
+
+
+def test_fig04_operator_breakdown(benchmark):
+    result = benchmark(fig04_operator_cycles.run)
+    emit("Figure 4: cycles by operator", fig04_operator_cycles.render(result))
+    total = result.total
+    assert 0.10 < total["SLS"] < 0.30  # paper: ~15%
+    assert total["SLS"] > 4 * total["Conv"]
+    assert total["SLS"] > 15 * total["Recurrent"]

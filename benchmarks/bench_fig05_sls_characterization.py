@@ -1,0 +1,22 @@
+"""Figure 5 bench: operator compute density and LLC MPKI (cache-simulated)."""
+
+from conftest import emit
+
+from repro.experiments import fig05_intensity_mpki
+
+
+def test_fig05_sls_characterization(benchmark):
+    result = benchmark.pedantic(
+        fig05_intensity_mpki.run,
+        kwargs={"trace_length": 15_000, "iterations": 3},
+        iterations=1,
+        rounds=1,
+    )
+    emit(
+        "Figure 5: compute density and LLC miss rates",
+        fig05_intensity_mpki.render(result),
+    )
+    intensity = result.intensity_by_name()
+    mpki = result.mpki_by_name()
+    assert intensity["SLS"] < 1 < intensity["RNN"] < intensity["FC"] < intensity["CNN"]
+    assert mpki["SLS"] > 5 * max(mpki["FC"], mpki["RNN"], mpki["CNN"])

@@ -1,0 +1,16 @@
+"""Figure 7 bench: batch-1 latency and operator breakdown on Broadwell."""
+
+from conftest import emit
+
+from repro.experiments import fig07_single_model
+
+
+def test_fig07_latency_breakdown(benchmark):
+    result = benchmark(fig07_single_model.run)
+    emit("Figure 7: single-model inference", fig07_single_model.render(result))
+    # Paper anchors: 0.04 / 0.30 / 0.60 ms, 15x spread.
+    assert 0.02 < result.latency_ms("RMC1-small") < 0.06
+    assert 0.18 < result.latency_ms("RMC2-small") < 0.42
+    assert 0.40 < result.latency_ms("RMC3-small") < 0.85
+    assert result.breakdown("RMC2-small")["SLS"] > 0.7
+    assert result.breakdown("RMC3-small")["FC"] > 0.9

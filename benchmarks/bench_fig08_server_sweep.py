@@ -1,0 +1,14 @@
+"""Figure 8 bench: latency vs batch size across server generations."""
+
+from conftest import emit
+
+from repro.experiments import fig08_batch_sweep
+
+
+def test_fig08_server_sweep(benchmark):
+    result = benchmark(fig08_batch_sweep.run)
+    emit("Figure 8: batch sweep across servers", fig08_batch_sweep.render(result))
+    for model in ("RMC1-small", "RMC2-small", "RMC3-small"):
+        assert result.best_server(model, 16) == "Broadwell"
+        assert result.best_server(model, 256) == "Skylake"
+    assert result.best_server("RMC3-small", 64) == "Skylake"

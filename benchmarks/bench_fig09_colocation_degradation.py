@@ -1,0 +1,15 @@
+"""Figure 9 bench: co-location latency degradation on Broadwell."""
+
+from conftest import emit
+
+from repro.experiments import fig09_colocation
+
+
+def test_fig09_colocation_degradation(benchmark):
+    result = benchmark(fig09_colocation.run)
+    emit("Figure 9: co-location degradation", fig09_colocation.render(result))
+    # Paper: N=8 degrades RMC1/RMC2/RMC3 by 1.3x / 2.6x / 1.6x.
+    assert abs(result.degradation("RMC1-small", 8) - 1.3) < 0.35
+    assert abs(result.degradation("RMC2-small", 8) - 2.6) < 0.7
+    assert abs(result.degradation("RMC3-small", 8) - 1.6) < 0.4
+    assert abs(result.op_degradation("RMC2-small", 8, "SLS") - 3.0) < 0.8

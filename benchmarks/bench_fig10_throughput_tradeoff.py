@@ -1,0 +1,22 @@
+"""Figure 10 bench: latency/throughput frontier per server generation."""
+
+from conftest import emit
+
+from repro.experiments import fig10_latency_throughput
+
+
+def test_fig10_throughput_tradeoff(benchmark):
+    result = benchmark(fig10_latency_throughput.run)
+    emit(
+        "Figure 10: latency/throughput under co-location",
+        fig10_latency_throughput.render(result),
+    )
+    assert result.point("Broadwell", 1).latency_s < result.point("Skylake", 1).latency_s
+    assert (
+        result.point("Skylake", 16).items_per_s
+        > result.point("Broadwell", 16).items_per_s
+    )
+    # Skylake's LLC-overflow cliff: jump from 18 to 21 jobs.
+    skl_jump = result.point("Skylake", 21).latency_s / result.point("Skylake", 18).latency_s
+    bdw_jump = result.point("Broadwell", 21).latency_s / result.point("Broadwell", 18).latency_s
+    assert skl_jump > bdw_jump

@@ -1,0 +1,21 @@
+"""Figure 11 bench: FC tail latency under production co-location (DES)."""
+
+from conftest import emit
+
+from repro.experiments import fig11_tail_latency
+
+
+def test_fig11_tail_latency(benchmark):
+    result = benchmark.pedantic(
+        fig11_tail_latency.run,
+        kwargs={"duration_s": 0.4},
+        iterations=1,
+        rounds=1,
+    )
+    emit("Figure 11: FC operator tail latency", fig11_tail_latency.render(result))
+    assert result.servers["Broadwell"].modes >= 3
+    assert result.servers["Skylake"].modes == 1
+    bdw = result.servers["Broadwell"]
+    skl = result.servers["Skylake"]
+    assert bdw.p99_growth(bdw.curve_small) > 2.0
+    assert skl.p99_growth(skl.curve_small) < 1.3

@@ -1,0 +1,15 @@
+"""Figure 12 bench: production models vs the MLPerf-NCF public benchmark."""
+
+from conftest import emit
+
+from repro.experiments import fig12_ncf_comparison
+
+
+def test_fig12_ncf_gap(benchmark):
+    result = benchmark(fig12_ncf_comparison.run)
+    emit("Figure 12: RMC vs MLPerf-NCF", fig12_ncf_comparison.render(result))
+    rows = result.by_name()
+    assert rows["RMC2-small"].latency_vs_ncf > 20
+    assert rows["RMC2-small"].embedding_vs_ncf > 50
+    assert rows["MLPerf-NCF"].fc_time_share > 0.7
+    assert rows["RMC2-small"].sls_time_share > 0.7

@@ -1,0 +1,18 @@
+"""Figure 14 bench: unique sparse-ID fraction and cacheability per trace."""
+
+from conftest import emit
+
+from repro.experiments import fig14_trace_locality
+
+
+def test_fig14_trace_locality(benchmark):
+    result = benchmark.pedantic(
+        fig14_trace_locality.run,
+        kwargs={"trace_length": 10_000},
+        iterations=1,
+        rounds=1,
+    )
+    emit("Figure 14: sparse-ID trace locality", fig14_trace_locality.render(result))
+    fractions = result.unique_fractions()
+    assert fractions["random"] > 0.9
+    assert min(fractions.values()) < 0.15

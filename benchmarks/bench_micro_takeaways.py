@@ -1,0 +1,16 @@
+"""Section V/VI bench: SIMD scaling and hyperthreading micro-measurements."""
+
+from conftest import emit
+
+from repro.experiments import micro_takeaways
+
+
+def test_micro_takeaways(benchmark):
+    result = benchmark(micro_takeaways.run)
+    emit("Micro-takeaways: SIMD + hyperthreading", micro_takeaways.render(result))
+    by_batch = {r.batch_size: r for r in result.simd_scaling}
+    assert abs(by_batch[4].throughput_ratio - 2.9) < 0.01
+    assert abs(by_batch[16].throughput_ratio - 14.5) < 0.01
+    for row in result.hyperthreading:
+        assert abs(row.fc_degradation - 1.6) < 0.1
+        assert abs(row.sls_degradation - 1.3) < 0.1

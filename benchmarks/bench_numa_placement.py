@@ -1,0 +1,37 @@
+"""NUMA bench: embedding-table placement across the two sockets."""
+
+from conftest import emit
+
+from repro.analysis import format_table
+from repro.config import RMC1_SMALL, RMC2_SMALL, RMC3_SMALL
+from repro.hw import BROADWELL, placement_comparison
+
+
+def run_study():
+    return {
+        config.name: placement_comparison(BROADWELL, config, 32)
+        for config in (RMC1_SMALL, RMC2_SMALL, RMC3_SMALL)
+    }
+
+
+def test_numa_placement(benchmark):
+    results = benchmark(run_study)
+    rows = []
+    for model, placements in results.items():
+        local = placements["local"].total_seconds
+        rows.append(
+            [
+                model,
+                f"{local * 1e3:.2f}",
+                f"{placements['interleave'].total_seconds / local:.2f}x",
+                f"{placements['remote'].total_seconds / local:.2f}x",
+            ]
+        )
+    emit(
+        "NUMA: embedding placement vs local-socket latency (batch 32)",
+        format_table(["model", "local ms", "interleave", "remote"], rows),
+    )
+    rmc2 = results["RMC2-small"]
+    assert rmc2["remote"].total_seconds > 1.3 * rmc2["local"].total_seconds
+    rmc3 = results["RMC3-small"]
+    assert rmc3["remote"].total_seconds < 1.15 * rmc3["local"].total_seconds

@@ -1,0 +1,57 @@
+"""Provisioning bench: minimum-cost fleet for the production demand mix."""
+
+from conftest import emit
+
+from repro.analysis import format_table
+from repro.config import RMC1_SMALL, RMC2_SMALL, RMC3_SMALL
+from repro.hw import ALL_SERVERS
+from repro.serving import (
+    DEFAULT_PRICES,
+    PricedGeneration,
+    SLA,
+    WorkloadDemand,
+    provision_min_cost,
+    single_generation_cost,
+)
+
+GENERATIONS = [
+    PricedGeneration(server, DEFAULT_PRICES[server.name]) for server in ALL_SERVERS
+]
+DEMANDS = [
+    WorkloadDemand(RMC1_SMALL, batch_size=4, sla=SLA(0.001), weight=0.4),
+    WorkloadDemand(RMC2_SMALL, batch_size=32, sla=SLA(0.050), weight=0.4),
+    WorkloadDemand(RMC3_SMALL, batch_size=32, sla=SLA(0.050), weight=0.2),
+]
+TARGET = 1e6  # items/s
+
+
+def run_study():
+    mixed = provision_min_cost(GENERATIONS, DEMANDS, TARGET)
+    singles = {
+        g.server.name: single_generation_cost(g, DEMANDS, TARGET)
+        for g in GENERATIONS
+    }
+    return mixed, singles
+
+
+def test_provisioning(benchmark):
+    mixed, singles = benchmark(run_study)
+    rows = [
+        [
+            "mixed fleet (LP)",
+            f"{mixed.cost_per_hour:.1f}",
+            ", ".join(f"{k}:{v}" for k, v in mixed.machine_counts.items()),
+        ]
+    ]
+    for name, cost in singles.items():
+        rows.append(
+            [f"all-{name}", f"{cost:.1f}" if cost else "infeasible", "-"]
+        )
+    emit(
+        f"Provisioning {TARGET:,.0f} items/s of the demand mix "
+        "(relative $/hour)",
+        format_table(["fleet", "cost/hour", "machines"], rows),
+    )
+    feasible = [c for c in singles.values() if c is not None]
+    assert feasible
+    assert mixed.cost_per_hour <= min(feasible) + 3 * max(DEFAULT_PRICES.values())

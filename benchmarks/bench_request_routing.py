@@ -1,0 +1,42 @@
+"""Routing-policy bench: tail latency across replicated inference servers."""
+
+from conftest import emit
+
+from repro.analysis import format_table
+from repro.config import RMC1_SMALL
+from repro.hw import BROADWELL
+from repro.serving import compare_policies
+
+
+def test_request_routing(benchmark):
+    results = benchmark.pedantic(
+        compare_policies,
+        kwargs=dict(
+            server=BROADWELL,
+            config=RMC1_SMALL,
+            batch_size=16,
+            num_machines=10,
+            utilization=0.85,
+            duration_s=2.0,
+            seed=5,
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    rows = []
+    for policy, result in results.items():
+        summary = result.summary()
+        rows.append(
+            [
+                policy,
+                f"{summary.p50 * 1e3:.2f}",
+                f"{summary.p95 * 1e3:.2f}",
+                f"{summary.p99 * 1e3:.2f}",
+                f"{result.throughput_qps():,.0f}",
+            ]
+        )
+    emit(
+        "Request routing at 85% utilization (10 Broadwell replicas, RMC1)",
+        format_table(["policy", "p50 ms", "p95 ms", "p99 ms", "qps"], rows),
+    )
+    assert results["jsq2"].summary().p99 < results["random"].summary().p99

@@ -1,0 +1,48 @@
+"""Reuse-distance bench: miss-ratio curves of the Figure-14 traces.
+
+One Mattson pass per trace yields the LRU hit ratio at *every* cache
+capacity — the capacity-planning view of Figure 14's locality spread, and
+the right way to size the embedding caches and DRAM tiers of the
+memory-system studies.
+"""
+
+from conftest import emit
+
+from repro.analysis import format_table
+from repro.data import reuse_profile, synthetic_production_traces
+
+CAPACITIES = [1_000, 10_000, 100_000]
+
+
+def run_study():
+    traces = synthetic_production_traces(table_rows=1_000_000, length=20_000)
+    picks = [traces[0], traces[4], traces[9]]
+    return [(t, reuse_profile(t.ids)) for t in picks]
+
+
+def test_reuse_distance(benchmark):
+    profiles = benchmark.pedantic(run_study, iterations=1, rounds=1)
+    rows = []
+    for trace, profile in profiles:
+        row = [
+            trace.name,
+            f"{100 * profile.compulsory_fraction:.0f}%",
+        ]
+        for capacity in CAPACITIES:
+            row.append(f"{100 * profile.hit_ratio(capacity):.0f}%")
+        ws = profile.working_set_size(0.5)
+        row.append(str(ws) if ws is not None else "unreachable")
+        rows.append(row)
+    emit(
+        "Reuse-distance curves of Figure-14 traces (LRU hit ratio by capacity)",
+        format_table(
+            ["trace", "compulsory"]
+            + [f"{c:,} rows" for c in CAPACITIES]
+            + ["rows for 50% hits"],
+            rows,
+        ),
+    )
+    low_locality = profiles[0][1]
+    high_locality = profiles[-1][1]
+    assert high_locality.hit_ratio(10_000) > low_locality.hit_ratio(10_000)
+    assert high_locality.compulsory_fraction < low_locality.compulsory_fraction

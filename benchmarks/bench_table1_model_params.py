@@ -1,0 +1,14 @@
+"""Table I bench: normalized model architecture parameters."""
+
+from conftest import emit
+
+from repro.experiments import table1_model_params
+
+
+def test_table1_model_params(benchmark):
+    result = benchmark(table1_model_params.run)
+    emit("Table I: model parameters", table1_model_params.render(result))
+    rows = result.by_class()
+    assert rows["RMC3"].bottom_fc[0] == 80
+    assert rows["RMC2"].num_tables == 10
+    assert rows["RMC1"].lookups == 4

@@ -1,0 +1,27 @@
+"""Table II bench: server specs plus a timing-model sanity sweep."""
+
+from conftest import emit
+
+from repro.config import RMC2_SMALL
+from repro.experiments import table2_servers
+from repro.hw import ALL_SERVERS, TimingModel
+
+
+def test_table2_servers(benchmark):
+    result = benchmark(table2_servers.run)
+    emit("Table II: server architectures", table2_servers.render(result))
+    names = [s.name for s in result.servers]
+    assert names == ["Haswell", "Broadwell", "Skylake"]
+
+
+def test_table2_timing_model_throughput(benchmark):
+    """Time a full model-latency evaluation across all three servers."""
+
+    def evaluate():
+        return [
+            TimingModel(server).model_latency(RMC2_SMALL, 32).total_seconds
+            for server in ALL_SERVERS
+        ]
+
+    latencies = benchmark(evaluate)
+    assert all(lat > 0 for lat in latencies)

@@ -1,0 +1,14 @@
+"""Table III bench: derived micro-architectural bottlenecks per class."""
+
+from conftest import emit
+
+from repro.experiments import table3_bottlenecks
+
+
+def test_table3_bottlenecks(benchmark):
+    result = benchmark(table3_bottlenecks.run)
+    emit("Table III: micro-architectural bottlenecks", table3_bottlenecks.render(result))
+    rows = result.by_class()
+    assert rows["RMC2"].classification == "Embedding dominated"
+    assert rows["RMC3"].classification == "MLP dominated"
+    assert rows["RMC2"].dram_sensitivity > rows["RMC2"].frequency_sensitivity

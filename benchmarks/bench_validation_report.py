@@ -1,0 +1,12 @@
+"""Validation bench: every headline paper claim, checked in one place."""
+
+from conftest import emit
+
+from repro.validation import render_report, validate
+
+
+def test_validation_report(benchmark):
+    checks = benchmark(validate)
+    emit("Validation report", render_report(checks))
+    failing = [c.claim for c in checks if not c.passed]
+    assert not failing, f"claims out of tolerance: {failing}"

@@ -1,0 +1,18 @@
+"""What-if bench: future memory systems for RMC2 in both regimes."""
+
+from conftest import emit
+
+from repro.experiments import whatif_memory
+
+
+def test_whatif_memory(benchmark):
+    result = benchmark(whatif_memory.run)
+    emit("What-if: future memory systems", whatif_memory.render(result))
+    rows = result.by_variant()
+    # Alone (latency-bound): access latency is the lever.
+    assert rows["2x lower latency"].speedup > rows["4x bandwidth (HBM-class)"].speedup
+    # Co-located (bandwidth-bound): bandwidth takes over.
+    assert (
+        rows["4x bandwidth (HBM-class)"].colocated_speedup
+        > rows["2x lower latency"].colocated_speedup
+    )

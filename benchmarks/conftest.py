@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures: the
+``benchmark`` fixture times the experiment's computation, and the rendered
+table/series is printed (run with ``-s`` to see it inline) and appended to
+``benchmarks/results.txt`` for inspection after a full run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_PATH = Path(__file__).parent / "results.txt"
+
+
+def emit(title: str, text: str) -> None:
+    """Print a rendered experiment and append it to the results file."""
+    banner = f"\n{'=' * 72}\n{title}\n{'=' * 72}\n"
+    print(banner + text)
+    with RESULTS_PATH.open("a") as fh:
+        fh.write(banner + text + "\n")

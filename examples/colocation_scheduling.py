@@ -1,0 +1,68 @@
+"""Co-location scheduling: trading single-model latency for throughput.
+
+Reproduces the paper's Section VI reasoning as a scheduler would use it:
+sweep the number of co-located RMC2 instances per socket on each server
+generation, inspect the latency/throughput frontier (Figure 10), and pick
+the SLA-optimal placement — including the heterogeneity-aware routing the
+paper's conclusion calls for.
+
+Run:  python examples/colocation_scheduling.py
+"""
+
+from repro.analysis import format_table
+from repro.config import RMC1_SMALL, RMC2_SMALL, RMC3_SMALL
+from repro.hw import ALL_SERVERS
+from repro.serving import SLA, best_placement, colocation_sweep, route_to_best_server
+
+BATCH = 32
+
+
+def main() -> None:
+    sla = SLA(deadline_s=0.015)
+
+    print(f"Latency/throughput frontier for {RMC2_SMALL.name} "
+          f"(batch {BATCH}, SLA {sla.deadline_s * 1e3:.0f} ms):\n")
+    rows = []
+    frontiers = {
+        server.name: colocation_sweep(server, RMC2_SMALL, BATCH, sla, max_jobs=24)
+        for server in ALL_SERVERS
+    }
+    for n in (1, 2, 4, 8, 12, 16, 18, 20, 24):
+        row = [n]
+        for server in ALL_SERVERS:
+            point = frontiers[server.name][n - 1]
+            marker = "" if point.meets_sla else " (!)"
+            row.append(
+                f"{point.latency_s * 1e3:5.1f} ms / "
+                f"{point.items_per_s / 1e3:5.1f}k{marker}"
+            )
+        rows.append(row)
+    print(format_table(["N"] + [s.name for s in ALL_SERVERS], rows))
+    print("(!) = SLA violated at that co-location degree\n")
+
+    print("SLA-optimal placements per server:")
+    for server in ALL_SERVERS:
+        decision = best_placement(server, RMC2_SMALL, BATCH, sla, max_jobs=24)
+        if decision is None:
+            print(f"  {server.name:<10} cannot meet the SLA")
+        else:
+            print(f"  {server.name:<10} N={decision.num_jobs:<3} "
+                  f"{decision.latency_s * 1e3:5.1f} ms  "
+                  f"{decision.items_per_s / 1e3:6.1f}k items/s")
+
+    print("\nHeterogeneity-aware routing (best server per model class):")
+    for config in (RMC1_SMALL, RMC2_SMALL, RMC3_SMALL):
+        for deadline in (0.002, 0.050):
+            decision = route_to_best_server(
+                list(ALL_SERVERS), config, BATCH, SLA(deadline)
+            )
+            if decision is None:
+                print(f"  {config.name:<11} SLA {deadline * 1e3:4.0f} ms: infeasible")
+            else:
+                print(f"  {config.name:<11} SLA {deadline * 1e3:4.0f} ms: "
+                      f"{decision.server_name:<10} N={decision.num_jobs:<3} "
+                      f"{decision.items_per_s / 1e3:7.1f}k items/s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""End-to-end Criteo-format pipeline: files → preprocessing → training.
+
+Generates a synthetic click log in the exact Criteo TSV schema (the public
+dataset the paper points to for instrumenting its benchmark), preprocesses
+it the standard way (log-transform + categorical hashing), and trains a
+Criteo-shaped DLRM on it.
+
+Run:  python examples/criteo_pipeline.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import RecommendationModel
+from repro.data import (
+    CriteoPreprocessor,
+    criteo_model_config,
+    read_criteo,
+    write_synthetic_criteo,
+)
+from repro.train import Adagrad, TrainableDLRM
+from repro.train.losses import bce_with_logits
+from repro.train.metrics import roc_auc
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "day_0.tsv"
+        write_synthetic_criteo(path, num_records=4096, seed=7, click_rate=0.3)
+        records = read_criteo(path)
+        print(f"wrote + parsed {len(records)} Criteo-format records "
+              f"({path.stat().st_size / 1024:.0f} KiB)")
+
+        config = criteo_model_config(rows_per_table=20_000)
+        model = RecommendationModel(config)
+        prep = CriteoPreprocessor(config)
+        print(f"model: {config.name} — {config.num_tables} tables, "
+              f"{model.storage_bytes() / 1e6:.1f} MB\n")
+
+        train, held_out = records[:3072], records[3072:]
+        trainable = TrainableDLRM(model)
+        optimizer = Adagrad(lr=0.05)
+        rng = np.random.default_rng(0)
+        from repro.train.losses import bce_with_logits_grad
+
+        for epoch in range(3):
+            order = rng.permutation(len(train))
+            losses = []
+            for start in range(0, len(train), 256):
+                chunk = [train[i] for i in order[start : start + 256]]
+                dense, sparse, labels = prep.batch(chunk)
+                logits, cache = trainable.forward_logits(dense, sparse)
+                losses.append(bce_with_logits(logits, labels))
+                grads = trainable.backward(
+                    bce_with_logits_grad(logits, labels), cache
+                )
+                optimizer.apply(model, grads)
+
+            t_dense, t_sparse, t_labels = prep.batch(train[:1024])
+            h_dense, h_sparse, h_labels = prep.batch(held_out)
+            train_auc = roc_auc(model.forward(t_dense, t_sparse), t_labels)
+            held_auc = roc_auc(model.forward(h_dense, h_sparse), h_labels)
+            print(f"epoch {epoch}: train loss {np.mean(losses):.4f}, "
+                  f"train AUC {train_auc:.3f}, held-out AUC {held_auc:.3f}")
+
+        print("\nthe synthetic labels carry no learnable signal, so the "
+              "model memorizes the training set (train AUC -> 1) while "
+              "held-out AUC stays ~0.5 — exactly the overfitting signature "
+              "a real pipeline must watch for. Drop real Criteo day files "
+              "into read_criteo() for genuine signal.")
+
+
+if __name__ == "__main__":
+    main()

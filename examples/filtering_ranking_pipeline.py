@@ -1,0 +1,57 @@
+"""The two-stage recommendation pipeline of Figure 6, end to end.
+
+A lightweight RMC1 filters thousands of candidate posts down to a short
+list; a heavyweight RMC3 ranks the survivors; the top ten are returned.
+Runs the real (scaled) models and compares measured wall time against the
+timing model's production-scale prediction per server generation.
+
+Run:  python examples/filtering_ranking_pipeline.py
+"""
+
+from repro.config import RMC1_SMALL, RMC3_SMALL, scaled_for_execution
+from repro.core import RecommendationModel
+from repro.hw import ALL_SERVERS
+from repro.serving import FilterRankPipeline, estimate_pipeline_latency
+
+CANDIDATES = 2048
+FILTER_KEEP = 64
+FINAL_KEEP = 10
+
+
+def main() -> None:
+    print(f"candidates: {CANDIDATES}  ->  filter keeps {FILTER_KEEP}  "
+          f"->  rank returns {FINAL_KEEP}\n")
+
+    filter_model = RecommendationModel(scaled_for_execution(RMC1_SMALL, 20_000))
+    rank_model = RecommendationModel(scaled_for_execution(RMC3_SMALL, 20_000))
+    pipeline = FilterRankPipeline(
+        filter_model,
+        rank_model,
+        filter_keep=FILTER_KEEP,
+        final_keep=FINAL_KEEP,
+        batch_size=128,
+    )
+    result = pipeline.recommend(candidate_count=CANDIDATES, seed=7)
+
+    print("recommended posts (candidate index : ranking score):")
+    for idx, score in zip(result.selected_indices, result.scores):
+        print(f"  #{idx:<5} {score:.4f}")
+    print(f"\nmeasured on this host:")
+    print(f"  filtering ({CANDIDATES} posts, {filter_model.config.name}): "
+          f"{result.filter_seconds * 1e3:7.2f} ms")
+    print(f"  ranking   ({FILTER_KEEP} posts, {rank_model.config.name}): "
+          f"{result.rank_seconds * 1e3:7.2f} ms")
+    print(f"  total: {result.total_seconds * 1e3:.2f} ms")
+
+    print("\npredicted at production scale per server generation:")
+    for server in ALL_SERVERS:
+        estimate = estimate_pipeline_latency(
+            server, RMC1_SMALL, RMC3_SMALL, CANDIDATES, FILTER_KEEP, batch_size=128
+        )
+        print(f"  {server.name:<10} filter {estimate.filter_seconds * 1e3:6.2f} ms + "
+              f"rank {estimate.rank_seconds * 1e3:6.2f} ms = "
+              f"{estimate.total_seconds * 1e3:6.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,114 @@
+"""Memory-system optimization study for the embedding-dominated RMC2.
+
+Walks the three remedies the paper's analysis motivates for models whose
+latency lives in SparseLengthsSum:
+
+1. software embedding caches exploiting production trace locality
+   (Figure 14) — hit ratio by policy and capacity;
+2. int8-quantized tables — 4x smaller storage and gathered bytes, with the
+   measured numerical error of the executable quantized operator;
+3. DRAM/NVM tiering — capacity savings vs lookup-latency cost;
+4. near-memory SLS execution — end-to-end Amdahl gain.
+
+Run:  python examples/memory_system_study.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.config import RMC2_SMALL
+from repro.core.operators import (
+    EmbeddingTable,
+    QuantizedEmbeddingTable,
+    QuantizedSparseLengthsSum,
+    SparseBatch,
+    SparseLengthsSum,
+)
+from repro.data import ZipfSparseGenerator
+from repro.hw import BROADWELL, TimingModel
+from repro.memory import (
+    LfuRowCache,
+    LruRowCache,
+    NmpConfig,
+    nmp_speedup,
+    plan_tiering,
+)
+
+
+def cache_study(rows: np.ndarray) -> None:
+    print("1) software embedding caches (Zipf-popular IDs, long tail):")
+    table_rows = []
+    for capacity in (10_000, 50_000, 200_000):
+        lru = LruRowCache(capacity).replay(rows)
+        lfu = LfuRowCache(capacity).replay(rows)
+        table_rows.append(
+            [f"{capacity:,} rows", f"{100 * lru.hit_ratio:.1f}%",
+             f"{100 * lfu.hit_ratio:.1f}%"]
+        )
+    print(format_table(["capacity", "LRU hit", "LFU hit"], table_rows))
+
+
+def quantization_study() -> None:
+    print("\n2) int8 row-wise quantization (executable):")
+    fp32 = EmbeddingTable(20_000, 32, rng=np.random.default_rng(1))
+    q = QuantizedEmbeddingTable.quantize(fp32)
+    sls = SparseLengthsSum("fp32", fp32, 80)
+    qsls = QuantizedSparseLengthsSum("int8", q, 80)
+    batch = SparseBatch.from_lists(
+        [list(np.random.default_rng(2).integers(0, 20_000, 80)) for _ in range(8)]
+    )
+    err = np.abs(qsls.forward(batch) - sls.forward(batch)).max()
+    print(f"   storage: {fp32.storage_bytes() / 1e6:.2f} MB -> "
+          f"{q.storage_bytes() / 1e6:.2f} MB "
+          f"({fp32.storage_bytes() / q.storage_bytes():.1f}x smaller)")
+    print(f"   max pooled-output error: {err:.5f}")
+    print(f"   production RMC2 tables: "
+          f"{RMC2_SMALL.embedding_storage_bytes() / 1e9:.1f} GB -> "
+          f"{RMC2_SMALL.embedding_storage_bytes() / 4e9:.1f} GB")
+
+
+def tiering_study(rows: np.ndarray, table_rows: int) -> None:
+    print("\n3) DRAM/NVM tiering (hot set profiled on first half, "
+          "evaluated on second):")
+    half = rows.size // 2
+    profile, evaluate = rows[:half], rows[half:]
+    table = []
+    for fraction in (0.002, 0.01, 0.05):
+        plan = plan_tiering(RMC2_SMALL, profile, table_rows, fraction, evaluate)
+        table.append(
+            [f"{100 * fraction:.1f}% DRAM",
+             f"{100 * plan.dram_hit_ratio:.0f}%",
+             f"{plan.slowdown_vs_dram:.2f}x",
+             f"{100 * plan.dram_savings_fraction:.0f}%"]
+        )
+    print(format_table(
+        ["DRAM budget", "lookups served by DRAM", "per-lookup slowdown",
+         "DRAM saved"], table))
+
+
+def nmp_study() -> None:
+    print("\n4) near-memory SLS execution:")
+    for speedup in (4, 8, 16):
+        result = nmp_speedup(
+            BROADWELL, RMC2_SMALL, 16, NmpConfig(sls_speedup=speedup)
+        )
+        print(f"   {speedup:>2}x SLS engine -> "
+              f"{result.end_to_end_speedup:.2f}x end-to-end "
+              f"(SLS share {100 * result.sls_share:.0f}%)")
+
+
+def main() -> None:
+    baseline = TimingModel(BROADWELL).model_latency(RMC2_SMALL, 16).total_seconds
+    print(f"target: {RMC2_SMALL.name}, baseline Broadwell latency "
+          f"{baseline * 1e3:.2f} ms at batch 16\n")
+    table_rows = 1_000_000
+    generator = ZipfSparseGenerator(table_rows, 1, alpha=1.05)
+    rows = generator.ids(60_000, np.random.default_rng(0))
+    cache_study(rows)
+    quantization_study()
+    tiering_study(rows, table_rows)
+    nmp_study()
+
+
+if __name__ == "__main__":
+    main()

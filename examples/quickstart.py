@@ -1,0 +1,58 @@
+"""Quickstart: build, run, and characterize a recommendation model.
+
+Demonstrates the three layers of the library:
+
+1. configure a production-class model (RMC2, the memory-intensive ranking
+   class) and instantiate an executable scaled-down copy;
+2. run real inference on synthetic user-post inputs and profile which
+   operators the time goes to;
+3. predict full-production-scale latency on the paper's three server
+   generations with the timing model (no multi-GB allocation needed).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.config import RMC2_SMALL, scaled_for_execution
+from repro.core import RecommendationModel, architecture_diagram
+from repro.data import generate_inputs
+from repro.hw import ALL_SERVERS, TimingModel
+
+
+def main() -> None:
+    # --- 1. configure + instantiate -------------------------------------
+    production = RMC2_SMALL
+    print(f"model: {production.name}")
+    print(f"  embedding tables : {production.num_tables}")
+    print(f"  total lookups    : {production.total_lookups} per sample")
+    print(f"  embedding storage: {production.embedding_storage_bytes() / 1e9:.1f} GB")
+    print(f"  MLP parameters   : {production.mlp_parameter_count():,}")
+    print("\n" + architecture_diagram(production))
+
+    executable = scaled_for_execution(production, max_rows=20_000)
+    model = RecommendationModel(executable)
+    print(f"\ninstantiated {executable.name} "
+          f"({model.storage_bytes() / 1e6:.1f} MB resident)")
+
+    # --- 2. run real inference -------------------------------------------
+    batch = 64
+    dense, sparse = generate_inputs(executable, batch, seed=1)
+    ctr, profile = model.forward_profiled(dense, sparse)
+    print(f"\nran a batch of {batch} user-post pairs")
+    print(f"  predicted CTR range: {ctr.min():.3f} .. {ctr.max():.3f}")
+    print(f"  wall time: {profile.total_seconds * 1e3:.2f} ms")
+    print("  time by operator:")
+    for op_type, share in sorted(
+        profile.fraction_by_op_type().items(), key=lambda kv: -kv[1]
+    ):
+        print(f"    {op_type:<12} {100 * share:5.1f}%")
+
+    # --- 3. predict production-scale latency ------------------------------
+    print("\npredicted production latency (full tables, batch 16):")
+    for server in ALL_SERVERS:
+        latency = TimingModel(server).model_latency(production, 16)
+        print(f"  {server.name:<10} {latency.total_seconds * 1e3:7.3f} ms "
+              f"(SLS share {100 * latency.fraction_by_op_type()['SLS']:.0f}%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Server-generation shopping guide for recommendation inference.
+
+Reproduces the paper's Figure 8 reasoning as a decision aid: given a model
+class and an SLA, which server generation should serve it, and at what
+batch size? Broadwell's higher clock wins at small batches; Skylake's
+AVX-512 and higher DRAM bandwidth win once batching can be exploited.
+
+Run:  python examples/server_comparison.py
+"""
+
+from repro.analysis import format_table
+from repro.config import RMC1_SMALL, RMC2_SMALL, RMC3_SMALL
+from repro.hw import ALL_SERVERS, TimingModel
+from repro.serving import SLA
+
+BATCHES = (1, 4, 16, 64, 128, 256)
+
+
+def max_batch_under_sla(server, config, sla: SLA) -> tuple[int, float] | None:
+    """Largest benchmark batch whose latency meets the SLA, with items/s."""
+    timing = TimingModel(server)
+    best = None
+    for batch in BATCHES:
+        latency = timing.model_latency(config, batch).total_seconds
+        if latency <= sla.deadline_s:
+            best = (batch, batch / latency)
+    return best
+
+
+def main() -> None:
+    for config in (RMC1_SMALL, RMC2_SMALL, RMC3_SMALL):
+        rows = []
+        for batch in BATCHES:
+            row = [batch]
+            latencies = {}
+            for server in ALL_SERVERS:
+                lat = TimingModel(server).model_latency(config, batch).total_seconds
+                latencies[server.name] = lat
+                row.append(f"{lat * 1e3:.3f}")
+            row.append(min(latencies, key=latencies.get))
+            rows.append(row)
+        print(format_table(
+            ["batch"] + [f"{s.name} ms" for s in ALL_SERVERS] + ["best"],
+            rows,
+            title=f"\n{config.name}: latency vs batch",
+        ))
+
+    print("\nScheduling under a 10 ms search-style SLA (paper Section V):")
+    sla = SLA(deadline_s=0.010)
+    for config in (RMC1_SMALL, RMC2_SMALL, RMC3_SMALL):
+        for server in ALL_SERVERS:
+            best = max_batch_under_sla(server, config, sla)
+            if best is None:
+                print(f"  {config.name:<11} on {server.name:<10}: SLA infeasible")
+            else:
+                batch, throughput = best
+                print(f"  {config.name:<11} on {server.name:<10}: "
+                      f"batch {batch:>3}, {throughput:,.0f} items/s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Embedding-trace locality study (Figure 14) and its system implications.
+
+Generates the synthetic production-trace suite, measures each trace's
+unique-ID fraction and its LLC miss rate through the simulated Broadwell
+cache hierarchy, then shows what that locality is worth: predicted RMC2
+inference latency with and without exploiting it (the caching/prefetching
+opportunity the paper's open-source trace generators exist to study).
+
+Run:  python examples/trace_locality_study.py
+"""
+
+from repro.analysis import format_table, measure_sls_trace_mpki
+from repro.config import RMC2_SMALL
+from repro.core.operators import EmbeddingTable, SparseLengthsSum
+from repro.data import random_trace, synthetic_production_traces
+from repro.hw import BROADWELL, TimingModel
+
+TABLE_ROWS = 1_000_000
+TRACE_LENGTH = 20_000
+
+
+def main() -> None:
+    traces = [random_trace(TABLE_ROWS, TRACE_LENGTH)]
+    traces += synthetic_production_traces(TABLE_ROWS, TRACE_LENGTH)
+
+    table = EmbeddingTable(TABLE_ROWS, 32)
+    sls = SparseLengthsSum("sls", table, lookups_per_sample=80)
+    timing = TimingModel(BROADWELL)
+
+    rows = []
+    for trace in traces:
+        unique = trace.unique_fraction()
+        mpki = measure_sls_trace_mpki(sls, BROADWELL, trace.ids).mpki
+        # A cache/prefetcher that captures the trace's reuse turns repeated
+        # IDs into LLC hits; feed that into the latency model.
+        locality = 1.0 - unique
+        latency = timing.model_latency(
+            RMC2_SMALL, 16, locality_hit_ratio=locality
+        ).total_seconds
+        rows.append(
+            [
+                trace.name,
+                f"{100 * unique:.1f}",
+                f"{mpki:.2f}",
+                f"{latency * 1e3:.2f}",
+            ]
+        )
+    baseline = timing.model_latency(RMC2_SMALL, 16).total_seconds
+    print(format_table(
+        ["trace", "unique IDs %", "LLC MPKI", "RMC2 latency ms (locality-aware)"],
+        rows,
+        title="Figure 14: trace locality and the caching opportunity",
+    ))
+    print(f"\nbaseline RMC2 latency (no locality exploited): {baseline * 1e3:.2f} ms")
+    print("traces with few unique IDs cut SLS DRAM traffic — the paper's "
+          "motivation for intelligent caching and prefetching.")
+
+
+if __name__ == "__main__":
+    main()

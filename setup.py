@@ -1,0 +1,7 @@
+"""Setup shim: enables legacy editable installs in offline environments
+(where the `wheel` package needed by PEP 517 editable builds is absent).
+All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,85 @@
+"""Command-line entry point: regenerate any paper experiment.
+
+Usage::
+
+    python -m repro list                 # show available experiments
+    python -m repro figure8              # run one and print its table
+    python -m repro all                  # run everything (slow ones last)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .experiments import REGISTRY
+
+#: Experiments ordered cheap-first so `all` gives fast feedback.
+_ORDERED = [
+    "table1",
+    "table2",
+    "figure1",
+    "figure2",
+    "figure4",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure12",
+    "table3",
+    "micro",
+    "configspace",
+    "whatif",
+    "figure11",
+    "figure14",
+    "figure5",
+]
+
+
+def _run_one(exp_id: str) -> None:
+    module = REGISTRY[exp_id]
+    start = time.perf_counter()
+    result = module.run()
+    elapsed = time.perf_counter() - start
+    print(f"\n### {exp_id} ({elapsed:.1f}s)\n")
+    print(module.render(result))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (see `list`), `all`, `validate`, or `list`",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "validate":
+        from .validation import render_report, validate
+
+        checks = validate()
+        print(render_report(checks))
+        return 0 if all(c.passed for c in checks) else 1
+    if args.experiment == "list":
+        for exp_id in _ORDERED:
+            doc = (REGISTRY[exp_id].__doc__ or "").strip().splitlines()[0]
+            print(f"{exp_id:<10} {doc}")
+        return 0
+    if args.experiment == "all":
+        for exp_id in _ORDERED:
+            _run_one(exp_id)
+        return 0
+    if args.experiment not in REGISTRY:
+        valid = ", ".join(_ORDERED)
+        print(f"unknown experiment {args.experiment!r}; valid: {valid}, all, validate, list",
+              file=sys.stderr)
+        return 2
+    _run_one(args.experiment)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,34 @@
+"""Analysis helpers: roofline, MPKI, latency distributions, text rendering."""
+
+from .distributions import LatencySummary, count_modes, summarize
+from .mpki import (
+    MpkiResult,
+    instruction_estimate,
+    measure_mpki,
+    measure_sls_trace_mpki,
+)
+from .roofline import (
+    IntensityPoint,
+    RooflinePlacement,
+    figure5_intensity_points,
+    intensity_point,
+    roofline_report,
+)
+from .tables import format_bar_chart, format_table
+
+__all__ = [
+    "LatencySummary",
+    "count_modes",
+    "summarize",
+    "MpkiResult",
+    "instruction_estimate",
+    "measure_mpki",
+    "measure_sls_trace_mpki",
+    "IntensityPoint",
+    "RooflinePlacement",
+    "figure5_intensity_points",
+    "intensity_point",
+    "roofline_report",
+    "format_bar_chart",
+    "format_table",
+]

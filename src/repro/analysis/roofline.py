@@ -1,0 +1,116 @@
+"""Operational-intensity analysis (Figure 5 left, Figure 2).
+
+The paper characterizes operators by compute density — FLOPs per byte read:
+SparseLengthsSum at 0.25 FLOPs/B versus RNN (5.5), FC (18) and CNN (141)
+layers. Density depends on batch size for weight-reusing operators (FC and
+RNN amortize their weight reads across the batch), so each comparison point
+carries the batch it is evaluated at; the defaults follow the production
+operating points the paper's numbers correspond to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.operators.base import Operator
+
+
+@dataclass(frozen=True)
+class IntensityPoint:
+    """One operator's position on the compute-density axis."""
+
+    name: str
+    op_type: str
+    batch_size: int
+    flops: int
+    bytes_read: int
+
+    @property
+    def operational_intensity(self) -> float:
+        """FLOPs per byte read."""
+        if self.bytes_read == 0:
+            return float("inf")
+        return self.flops / self.bytes_read
+
+
+def intensity_point(operator: Operator, batch_size: int) -> IntensityPoint:
+    """Compute an operator's operational intensity at ``batch_size``."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    cost = operator.cost(batch_size)
+    return IntensityPoint(
+        name=operator.name,
+        op_type=operator.op_type,
+        batch_size=batch_size,
+        flops=cost.flops,
+        bytes_read=cost.bytes_read,
+    )
+
+
+@dataclass(frozen=True)
+class RooflinePlacement:
+    """An operator placed under a server's roofline.
+
+    Attributes:
+        point: the operator's intensity point.
+        attainable_gflops: min(compute ceiling, intensity x bandwidth).
+        bound: "memory" or "compute".
+    """
+
+    point: IntensityPoint
+    attainable_gflops: float
+    bound: str
+
+
+def roofline_report(server, points: list[IntensityPoint]) -> list[RooflinePlacement]:
+    """Place intensity points under a server's roofline.
+
+    The ridge point sits at ``peak_gflops / streaming_bandwidth``; operators
+    left of it (SLS at 0.25 FLOPs/B) are memory-bound, operators right of it
+    (conv layers) are compute-bound — the analytical backbone of Figure 5.
+    """
+    peak = server.peak_gflops_per_core
+    bandwidth_gbps = server.dram_bw_bytes_per_s / 1e9
+    placements = []
+    for point in points:
+        memory_roof = point.operational_intensity * bandwidth_gbps
+        attainable = min(peak, memory_roof)
+        placements.append(
+            RooflinePlacement(
+                point=point,
+                attainable_gflops=attainable,
+                bound="memory" if memory_roof < peak else "compute",
+            )
+        )
+    return placements
+
+
+def figure5_intensity_points() -> list[IntensityPoint]:
+    """The Figure-5(left) comparison set, computed from real operators.
+
+    Batch sizes reflect the regimes the paper's numbers were measured in:
+    SLS sums rows with no reuse (batch-independent density), the FC is a
+    ResNet50-style 2048x1000 layer at a production batch, the CNN a
+    ResNet50 3x3 conv (high density even at unit batch), and the RNN an
+    NLP-scale recurrent layer whose weights are re-streamed per timestep.
+    """
+    from ..core.operators import (
+        Conv2D,
+        EmbeddingTable,
+        FullyConnected,
+        RecurrentCell,
+        SparseLengthsSum,
+    )
+
+    sls = SparseLengthsSum(
+        "SLS", EmbeddingTable(100_000, 32), lookups_per_sample=80
+    )
+    fc = FullyConnected("FC", 2048, 1000)
+    cnn = Conv2D("CNN", 64, 64, 3, 56)
+    rnn = RecurrentCell("RNN", 1024, 1024, 50)
+    return [
+        intensity_point(sls, 1),
+        intensity_point(rnn, 8),
+        intensity_point(fc, 32),
+        intensity_point(cnn, 1),
+    ]

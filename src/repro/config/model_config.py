@@ -1,0 +1,357 @@
+"""Model configuration for DLRM-style personalized recommendation models.
+
+These dataclasses mirror the tunable parameters of the open-source benchmark
+described in Section VII / Figure 13 of the paper:
+
+1. the number of embedding tables,
+2. input (rows) and output (embedding dimension) sizes of embedding tables,
+3. the number of sparse lookups per embedding table,
+4. depth/width of the Bottom-MLP (dense features), and
+5. depth/width of the Top-MLP (after combining dense and sparse features).
+
+A :class:`ModelConfig` fully determines model structure, storage capacity,
+and per-inference FLOP/byte counts; it can be instantiated as a runnable
+:class:`repro.core.model.RecommendationModel`, and scaled down with
+:meth:`ModelConfig.scaled` so that production-sized configurations (tens of
+GBs of embeddings) remain executable on a laptop while preserving shape
+ratios.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+#: Bytes per element for the supported datatypes (the paper uses fp32).
+DTYPE_BYTES = {"fp32": 4, "fp16": 2, "int8": 1}
+
+
+class ConfigError(ValueError):
+    """Raised when a model configuration is structurally invalid."""
+
+
+@dataclass(frozen=True)
+class EmbeddingTableConfig:
+    """Configuration of one embedding table.
+
+    Attributes:
+        rows: number of rows (the categorical-domain size; "input dimension"
+            in the paper's Table I, up to millions in production).
+        dim: embedding dimension (the paper reports 24-40 in production;
+            "output dimension" in Table I).
+        lookups_per_sample: sparse IDs gathered and pooled per input sample
+            (Table I "Lookups"; tens in production).
+    """
+
+    rows: int
+    dim: int
+    lookups_per_sample: int
+
+    def __post_init__(self) -> None:
+        if self.rows < 1:
+            raise ConfigError(f"embedding table needs at least 1 row, got {self.rows}")
+        if self.dim < 1:
+            raise ConfigError(f"embedding dim must be positive, got {self.dim}")
+        if self.lookups_per_sample < 1:
+            raise ConfigError(
+                f"lookups_per_sample must be positive, got {self.lookups_per_sample}"
+            )
+
+    def storage_bytes(self, dtype: str = "fp32") -> int:
+        """Bytes needed to hold the full table."""
+        return self.rows * self.dim * DTYPE_BYTES[dtype]
+
+    def bytes_read_per_sample(self, dtype: str = "fp32") -> int:
+        """Bytes of embedding rows gathered per input sample."""
+        return self.lookups_per_sample * self.dim * DTYPE_BYTES[dtype]
+
+    def flops_per_sample(self) -> int:
+        """Element-wise accumulation FLOPs of the pooled lookup (Algorithm 1)."""
+        return self.lookups_per_sample * self.dim
+
+
+@dataclass(frozen=True)
+class MLPConfig:
+    """Configuration of a stack of fully-connected layers.
+
+    Attributes:
+        layer_sizes: output width of each FC layer in order. The input width
+            of the first layer is supplied by the surrounding model (dense
+            feature width for the Bottom-MLP; concat width for the Top-MLP).
+        activation: activation applied after every layer except, optionally,
+            the last (``final_activation``).
+        final_activation: activation after the last layer; the Top-MLP of a
+            CTR model ends in a sigmoid.
+    """
+
+    layer_sizes: tuple[int, ...]
+    activation: str = "relu"
+    final_activation: str | None = None
+
+    def __init__(
+        self,
+        layer_sizes: Sequence[int],
+        activation: str = "relu",
+        final_activation: str | None = None,
+    ) -> None:
+        object.__setattr__(self, "layer_sizes", tuple(int(s) for s in layer_sizes))
+        object.__setattr__(self, "activation", activation)
+        object.__setattr__(self, "final_activation", final_activation)
+        self.__post_init__()
+
+    def __post_init__(self) -> None:
+        if not self.layer_sizes:
+            raise ConfigError("MLP must have at least one layer")
+        if any(s < 1 for s in self.layer_sizes):
+            raise ConfigError(f"MLP layer sizes must be positive, got {self.layer_sizes}")
+        if self.activation not in ("relu", "sigmoid", "none"):
+            raise ConfigError(f"unsupported activation {self.activation!r}")
+        if self.final_activation not in (None, "relu", "sigmoid", "none"):
+            raise ConfigError(f"unsupported final activation {self.final_activation!r}")
+
+    @property
+    def depth(self) -> int:
+        """Number of FC layers."""
+        return len(self.layer_sizes)
+
+    @property
+    def output_dim(self) -> int:
+        """Width of the final layer."""
+        return self.layer_sizes[-1]
+
+    def parameter_count(self, input_dim: int) -> int:
+        """Total weights + biases given the input width."""
+        total = 0
+        fan_in = input_dim
+        for width in self.layer_sizes:
+            total += fan_in * width + width
+            fan_in = width
+        return total
+
+    def flops_per_sample(self, input_dim: int) -> int:
+        """Multiply-accumulate FLOPs (2 per MAC) for one input sample."""
+        total = 0
+        fan_in = input_dim
+        for width in self.layer_sizes:
+            total += 2 * fan_in * width
+            fan_in = width
+        return total
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Complete configuration of a DLRM-style recommendation model (Fig. 3).
+
+    The model consumes ``dense_features`` continuous inputs (processed by the
+    Bottom-MLP) and one multi-hot sparse feature per embedding table
+    (processed by SparseLengthsSum). Embedding outputs and the Bottom-MLP
+    output are concatenated and fed to the Top-MLP, whose final scalar and
+    sigmoid produce the predicted click-through rate.
+
+    Attributes:
+        name: human-readable identifier (e.g. ``"RMC1-small"``).
+        model_class: one of ``"RMC1"``, ``"RMC2"``, ``"RMC3"``, ``"NCF"`` or
+            a free-form label; used by fleet accounting and Table I.
+        dense_features: width of the dense input vector.
+        bottom_mlp: Bottom-MLP configuration.
+        embedding_tables: per-table configurations.
+        top_mlp: Top-MLP configuration; its final layer should have width 1
+            for CTR prediction.
+        dtype: parameter datatype ("fp32" in all paper experiments).
+        interaction: how dense and sparse representations combine —
+            ``"concat"`` (Figure 3's architecture) or ``"dot"`` (DLRM's
+            pairwise dot-product interaction, executed as the BatchMatMul
+            operator that dominates production RMC profiles alongside FC).
+            ``"dot"`` requires the Bottom-MLP output width to equal every
+            embedding dimension.
+    """
+
+    name: str
+    model_class: str
+    dense_features: int
+    bottom_mlp: MLPConfig
+    embedding_tables: tuple[EmbeddingTableConfig, ...]
+    top_mlp: MLPConfig
+    dtype: str = "fp32"
+    interaction: str = "concat"
+
+    def __init__(
+        self,
+        name: str,
+        model_class: str,
+        dense_features: int,
+        bottom_mlp: MLPConfig,
+        embedding_tables: Sequence[EmbeddingTableConfig],
+        top_mlp: MLPConfig,
+        dtype: str = "fp32",
+        interaction: str = "concat",
+    ) -> None:
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "model_class", model_class)
+        object.__setattr__(self, "dense_features", int(dense_features))
+        object.__setattr__(self, "bottom_mlp", bottom_mlp)
+        object.__setattr__(self, "embedding_tables", tuple(embedding_tables))
+        object.__setattr__(self, "top_mlp", top_mlp)
+        object.__setattr__(self, "dtype", dtype)
+        object.__setattr__(self, "interaction", interaction)
+        self.__post_init__()
+
+    def __post_init__(self) -> None:
+        if self.dense_features < 1:
+            raise ConfigError("dense_features must be positive")
+        if not self.embedding_tables:
+            raise ConfigError("a recommendation model needs at least one embedding table")
+        if self.dtype not in DTYPE_BYTES:
+            raise ConfigError(f"unsupported dtype {self.dtype!r}")
+        if self.interaction not in ("concat", "dot"):
+            raise ConfigError(f"unsupported interaction {self.interaction!r}")
+        if self.interaction == "dot":
+            dims = {t.dim for t in self.embedding_tables}
+            dims.add(self.bottom_mlp.output_dim)
+            if len(dims) != 1:
+                raise ConfigError(
+                    "dot interaction needs Bottom-MLP output width equal to "
+                    f"every embedding dim, got {sorted(dims)}"
+                )
+
+    # ------------------------------------------------------------------ shape
+
+    @property
+    def num_tables(self) -> int:
+        """Number of embedding tables."""
+        return len(self.embedding_tables)
+
+    @property
+    def embedding_output_dim(self) -> int:
+        """Sum of embedding dimensions across tables (concat contribution)."""
+        return sum(t.dim for t in self.embedding_tables)
+
+    @property
+    def num_interaction_vectors(self) -> int:
+        """Feature vectors entering the interaction (dense + one/table)."""
+        return 1 + self.num_tables
+
+    @property
+    def top_mlp_input_dim(self) -> int:
+        """Width of the combined representation feeding the Top-MLP.
+
+        ``concat``: Bottom-MLP output plus every embedding vector.
+        ``dot``: the Bottom-MLP output passed through, plus one pairwise
+        dot product per feature-vector pair (DLRM's layout).
+        """
+        if self.interaction == "dot":
+            v = self.num_interaction_vectors
+            return self.bottom_mlp.output_dim + v * (v - 1) // 2
+        return self.bottom_mlp.output_dim + self.embedding_output_dim
+
+    @property
+    def total_lookups(self) -> int:
+        """Total sparse-ID lookups per sample across all tables."""
+        return sum(t.lookups_per_sample for t in self.embedding_tables)
+
+    # --------------------------------------------------------------- capacity
+
+    def embedding_storage_bytes(self) -> int:
+        """Aggregate embedding-table capacity (the dominant storage term)."""
+        return sum(t.storage_bytes(self.dtype) for t in self.embedding_tables)
+
+    def mlp_parameter_count(self) -> int:
+        """FC parameters across Bottom- and Top-MLP."""
+        return self.bottom_mlp.parameter_count(
+            self.dense_features
+        ) + self.top_mlp.parameter_count(self.top_mlp_input_dim)
+
+    def mlp_storage_bytes(self) -> int:
+        """Bytes holding all FC weights and biases."""
+        return self.mlp_parameter_count() * DTYPE_BYTES[self.dtype]
+
+    def total_storage_bytes(self) -> int:
+        """Total model capacity (embeddings + MLPs)."""
+        return self.embedding_storage_bytes() + self.mlp_storage_bytes()
+
+    # ------------------------------------------------------------------- cost
+
+    def interaction_flops_per_sample(self) -> int:
+        """FLOPs of the dot interaction's batched matmul (0 for concat)."""
+        if self.interaction != "dot":
+            return 0
+        v = self.num_interaction_vectors
+        return 2 * v * v * self.bottom_mlp.output_dim
+
+    def flops_per_sample(self) -> int:
+        """End-to-end FLOPs for one user-post pair (MACs count as 2)."""
+        mlp = self.bottom_mlp.flops_per_sample(self.dense_features)
+        mlp += self.top_mlp.flops_per_sample(self.top_mlp_input_dim)
+        emb = sum(t.flops_per_sample() for t in self.embedding_tables)
+        return mlp + emb + self.interaction_flops_per_sample()
+
+    def bytes_read_per_sample(self) -> int:
+        """Bytes read per sample: all FC weights plus gathered embedding rows.
+
+        This matches the paper's Figure 2 notion of per-inference bytes: at
+        unit batch every FC weight is read once and only the looked-up
+        embedding rows are touched.
+        """
+        emb = sum(t.bytes_read_per_sample(self.dtype) for t in self.embedding_tables)
+        return self.mlp_storage_bytes() + emb
+
+    def operational_intensity(self) -> float:
+        """FLOPs per byte read, at unit batch (Figure 5-style metric)."""
+        return self.flops_per_sample() / self.bytes_read_per_sample()
+
+    # ---------------------------------------------------------------- scaling
+
+    def scaled(self, table_rows: float = 1.0, suffix: str | None = None) -> "ModelConfig":
+        """Return a copy with embedding-table rows scaled by ``table_rows``.
+
+        Production configurations have tables with millions of rows (up to
+        10 GB aggregate); tests and examples scale rows down, which preserves
+        every per-sample cost except storage capacity (lookups, dims and FC
+        shapes are untouched).
+        """
+        if table_rows <= 0:
+            raise ConfigError("table_rows scale factor must be positive")
+        tables = tuple(
+            replace(t, rows=max(1, int(math.ceil(t.rows * table_rows))))
+            for t in self.embedding_tables
+        )
+        name = self.name if suffix is None else f"{self.name}{suffix}"
+        return ModelConfig(
+            name=name,
+            model_class=self.model_class,
+            dense_features=self.dense_features,
+            bottom_mlp=self.bottom_mlp,
+            embedding_tables=tables,
+            top_mlp=self.top_mlp,
+            dtype=self.dtype,
+            interaction=self.interaction,
+        )
+
+    def describe(self) -> dict:
+        """Structured summary used by Table I / Figure 12 experiments."""
+        return {
+            "name": self.name,
+            "model_class": self.model_class,
+            "dense_features": self.dense_features,
+            "num_tables": self.num_tables,
+            "table_rows": [t.rows for t in self.embedding_tables],
+            "embedding_dim": [t.dim for t in self.embedding_tables],
+            "lookups_per_table": [t.lookups_per_sample for t in self.embedding_tables],
+            "bottom_mlp": list(self.bottom_mlp.layer_sizes),
+            "top_mlp": list(self.top_mlp.layer_sizes),
+            "embedding_storage_bytes": self.embedding_storage_bytes(),
+            "mlp_parameters": self.mlp_parameter_count(),
+            "flops_per_sample": self.flops_per_sample(),
+            "bytes_per_sample": self.bytes_read_per_sample(),
+        }
+
+
+def uniform_tables(
+    num_tables: int, rows: int, dim: int, lookups: int
+) -> tuple[EmbeddingTableConfig, ...]:
+    """Convenience builder: ``num_tables`` identical embedding tables."""
+    if num_tables < 1:
+        raise ConfigError("num_tables must be positive")
+    table = EmbeddingTableConfig(rows=rows, dim=dim, lookups_per_sample=lookups)
+    return tuple(table for _ in range(num_tables))

@@ -1,0 +1,92 @@
+"""Normalized Table-I view of model configurations.
+
+The paper's Table I reports every architecture parameter normalized to the
+smallest instance across the three model classes: Bottom- and Top-FC widths
+are normalized to RMC1's layer 3, embedding-table count and dimensions to
+RMC1, and lookups per table to RMC3. This module computes the same
+normalized view from concrete :class:`~repro.config.model_config.ModelConfig`
+objects, so the reproduction of Table I is derived from the presets rather
+than hard-coded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .model_config import ModelConfig
+
+
+@dataclass(frozen=True)
+class NormalizedModelParams:
+    """One row of the normalized Table I."""
+
+    name: str
+    model_class: str
+    bottom_fc: tuple[float, ...]
+    top_fc: tuple[float, ...]
+    num_tables: float
+    table_rows: float
+    table_dim: float
+    lookups: float
+
+
+def _mean(values) -> float:
+    values = list(values)
+    return sum(values) / len(values)
+
+
+def normalize_table1(
+    configs: list[ModelConfig],
+    fc_reference: ModelConfig | None = None,
+    table_reference: ModelConfig | None = None,
+    lookup_reference: ModelConfig | None = None,
+) -> list[NormalizedModelParams]:
+    """Compute Table-I-style normalized parameters for ``configs``.
+
+    Args:
+        configs: the model configurations to normalize (one row each).
+        fc_reference: model whose *last* Bottom-FC layer defines 1x for FC
+            widths (the paper uses RMC1). Defaults to the first RMC1 in
+            ``configs``, else the first config.
+        table_reference: model defining 1x for table count/rows/dims
+            (paper: RMC1).
+        lookup_reference: model defining 1x lookups (paper: RMC3).
+
+    Returns:
+        One :class:`NormalizedModelParams` per input config.
+    """
+    if not configs:
+        raise ValueError("need at least one config to normalize")
+
+    def first_of(model_class: str) -> ModelConfig:
+        for cfg in configs:
+            if cfg.model_class == model_class:
+                return cfg
+        return configs[0]
+
+    fc_ref = fc_reference or first_of("RMC1")
+    tbl_ref = table_reference or first_of("RMC1")
+    lkp_ref = lookup_reference or first_of("RMC3")
+
+    fc_unit = fc_ref.bottom_mlp.layer_sizes[-1]
+    tables_unit = tbl_ref.num_tables
+    rows_unit = _mean(t.rows for t in tbl_ref.embedding_tables)
+    dim_unit = _mean(t.dim for t in tbl_ref.embedding_tables)
+    lookups_unit = _mean(t.lookups_per_sample for t in lkp_ref.embedding_tables)
+
+    rows = []
+    for cfg in configs:
+        rows.append(
+            NormalizedModelParams(
+                name=cfg.name,
+                model_class=cfg.model_class,
+                bottom_fc=tuple(s / fc_unit for s in cfg.bottom_mlp.layer_sizes),
+                top_fc=tuple(s / fc_unit for s in cfg.top_mlp.layer_sizes),
+                num_tables=cfg.num_tables / tables_unit,
+                table_rows=_mean(t.rows for t in cfg.embedding_tables) / rows_unit,
+                table_dim=_mean(t.dim for t in cfg.embedding_tables) / dim_unit,
+                lookups=_mean(t.lookups_per_sample for t in cfg.embedding_tables)
+                / lookups_unit,
+            )
+        )
+    return rows

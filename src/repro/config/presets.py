@@ -1,0 +1,174 @@
+"""Preset model configurations for the paper's three recommendation classes.
+
+Table I of the paper gives *normalized* architecture parameters for RMC1,
+RMC2 and RMC3 together with absolute anchors scattered through the text:
+
+* embedding output dimension is 24-40 across all classes (we use 32);
+* Bottom-FC widths are 8x/4x/1x of RMC1's layer 3 for RMC1/RMC2 and
+  80x/8x/4x for RMC3; with the layer-3 unit at 32 this gives
+  ``[256, 128, 32]`` and ``[2560, 256, 128]``;
+* Top-FC widths are 4x/2x/(1) ending in the scalar CTR output;
+* lookups per table are normalized to RMC3: RMC1/RMC2 use ~4x more
+  (the Section VII example uses 80, so RMC3 uses 20);
+* table counts: RMC2 has ~10x the tables of RMC1/RMC3 (4-40 in total
+  across the fleet);
+* aggregate embedding storage is ~100 MB (RMC1), ~10 GB (RMC2),
+  ~1 GB (RMC3); RMC3 has the largest per-table input dimension.
+
+These choices reproduce the paper's operator mixes (Figure 7: RMC1 ~61%
+FC+BatchMM / ~20% SLS; RMC2 ~80% SLS; RMC3 >96% FC) and batch-1 Broadwell
+latencies (0.04 / 0.30 / 0.60 ms). The ``*-small`` / ``*-large`` presets
+bracket each class the way the paper's "small and large implementations"
+do. :func:`scaled_for_execution` returns laptop-runnable instances that
+keep every per-sample cost identical.
+"""
+
+from __future__ import annotations
+
+from .model_config import (
+    EmbeddingTableConfig,
+    MLPConfig,
+    ModelConfig,
+    uniform_tables,
+)
+
+#: Embedding dimension shared by all production presets (paper: 24-40).
+EMBEDDING_DIM = 32
+
+#: Sparse-ID lookups per table. Normalized to RMC3 = 1x in Table I; the
+#: Section VII example RMC1 uses 80 lookups, i.e. the 4x classes use 80.
+LOOKUPS_RMC1 = 80
+LOOKUPS_RMC2 = 80
+LOOKUPS_RMC3 = 20
+
+#: Bottom/Top MLP shapes from Table I (unit: RMC1 layer 3 = 32).
+_SMALL_BOTTOM = [256, 128, 32]
+_SMALL_TOP = [128, 64, 1]
+_RMC3_BOTTOM = [2560, 256, 128]
+_RMC3_TOP = [128, 64, 1]
+
+
+def _model(
+    name: str,
+    model_class: str,
+    dense: int,
+    bottom: list,
+    top: list,
+    num_tables: int,
+    rows: int,
+    lookups: int,
+) -> ModelConfig:
+    return ModelConfig(
+        name=name,
+        model_class=model_class,
+        dense_features=dense,
+        bottom_mlp=MLPConfig(bottom),
+        embedding_tables=uniform_tables(num_tables, rows, EMBEDDING_DIM, lookups),
+        top_mlp=MLPConfig(top, final_activation="sigmoid"),
+    )
+
+
+#: Lightweight filtering model: few, small tables, small MLPs (~50-150 MB).
+RMC1_SMALL = _model(
+    "RMC1-small", "RMC1", 128, _SMALL_BOTTOM, _SMALL_TOP,
+    num_tables=2, rows=100_000, lookups=LOOKUPS_RMC1,
+)
+
+#: Larger RMC1 instance — 3x the tables and wider FCs (paper: ~2x latency).
+RMC1_LARGE = _model(
+    "RMC1-large", "RMC1", 128, [512, 256, 32], [256, 64, 1],
+    num_tables=6, rows=100_000, lookups=LOOKUPS_RMC1,
+)
+
+#: Memory-intensive ranking model: ~10x more tables (5-10 GB aggregate).
+RMC2_SMALL = _model(
+    "RMC2-small", "RMC2", 128, _SMALL_BOTTOM, _SMALL_TOP,
+    num_tables=20, rows=2_000_000, lookups=LOOKUPS_RMC2,
+)
+
+RMC2_LARGE = _model(
+    "RMC2-large", "RMC2", 128, _SMALL_BOTTOM, _SMALL_TOP,
+    num_tables=24, rows=3_000_000, lookups=LOOKUPS_RMC2,
+)
+
+#: Compute-intensive ranking model: very wide Bottom-MLP (many dense
+#: features in social-media post ranking), few but very tall tables (~1 GB),
+#: few lookups per table.
+RMC3_SMALL = _model(
+    "RMC3-small", "RMC3", 512, _RMC3_BOTTOM, _RMC3_TOP,
+    num_tables=2, rows=3_600_000, lookups=LOOKUPS_RMC3,
+)
+
+RMC3_LARGE = _model(
+    "RMC3-large", "RMC3", 512, [2560, 512, 128], [256, 64, 1],
+    num_tables=3, rows=3_600_000, lookups=LOOKUPS_RMC3,
+)
+
+#: The MLPerf-NCF comparison point (Section VII / Figure 12): orders of
+#: magnitude smaller embedding tables (MovieLens-20m: ~138k users, ~27k
+#: movies, dim 64) and fewer/smaller FC layers, one lookup per table.
+NCF = ModelConfig(
+    name="MLPerf-NCF",
+    model_class="NCF",
+    dense_features=1,
+    bottom_mlp=MLPConfig([64]),
+    embedding_tables=(
+        EmbeddingTableConfig(rows=138_000, dim=64, lookups_per_sample=1),
+        EmbeddingTableConfig(rows=27_000, dim=64, lookups_per_sample=1),
+    ),
+    top_mlp=MLPConfig([128, 64, 1], final_activation="sigmoid"),
+)
+
+#: A DLRM-style variant of RMC1 using the pairwise dot-product interaction
+#: (executed as BatchMatMul) instead of plain concatenation. The Bottom-MLP
+#: output width must equal the embedding dimension.
+RMC1_DOT = ModelConfig(
+    name="RMC1-dot",
+    model_class="RMC1",
+    dense_features=128,
+    bottom_mlp=MLPConfig(_SMALL_BOTTOM),
+    embedding_tables=uniform_tables(2, 100_000, EMBEDDING_DIM, LOOKUPS_RMC1),
+    top_mlp=MLPConfig(_SMALL_TOP, final_activation="sigmoid"),
+    interaction="dot",
+)
+
+#: Canonical representative of each class, used throughout the experiments.
+RMC1 = RMC1_SMALL
+RMC2 = RMC2_SMALL
+RMC3 = RMC3_SMALL
+
+PRODUCTION_PRESETS: dict[str, ModelConfig] = {
+    cfg.name: cfg
+    for cfg in (
+        RMC1_SMALL,
+        RMC1_LARGE,
+        RMC1_DOT,
+        RMC2_SMALL,
+        RMC2_LARGE,
+        RMC3_SMALL,
+        RMC3_LARGE,
+        NCF,
+    )
+}
+
+
+def get_preset(name: str) -> ModelConfig:
+    """Look up a preset by name, raising ``KeyError`` with the valid names."""
+    try:
+        return PRODUCTION_PRESETS[name]
+    except KeyError:
+        valid = ", ".join(sorted(PRODUCTION_PRESETS))
+        raise KeyError(f"unknown preset {name!r}; valid presets: {valid}") from None
+
+
+def scaled_for_execution(config: ModelConfig, max_rows: int = 20_000) -> ModelConfig:
+    """Shrink embedding tables so the model is executable in modest RAM.
+
+    Rows are capped at ``max_rows`` per table; lookup counts, embedding
+    dimensions and MLP shapes — everything that determines per-sample
+    compute and operator mix — are preserved.
+    """
+    biggest = max(t.rows for t in config.embedding_tables)
+    if biggest <= max_rows:
+        return config
+    return config.scaled(table_rows=max_rows / biggest, suffix="-exec")

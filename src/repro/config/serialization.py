@@ -1,0 +1,98 @@
+"""JSON (de)serialization of model configurations.
+
+The open-source benchmark's parameter space (Figure 13) is only useful if
+configurations travel between tools and experiments; these helpers give a
+stable JSON schema for :class:`~repro.config.model_config.ModelConfig`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .model_config import (
+    ConfigError,
+    EmbeddingTableConfig,
+    MLPConfig,
+    ModelConfig,
+)
+
+SCHEMA_VERSION = 1
+
+
+def config_to_dict(config: ModelConfig) -> dict:
+    """Structured, version-tagged representation of a configuration."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "name": config.name,
+        "model_class": config.model_class,
+        "dense_features": config.dense_features,
+        "dtype": config.dtype,
+        "interaction": config.interaction,
+        "bottom_mlp": {
+            "layer_sizes": list(config.bottom_mlp.layer_sizes),
+            "activation": config.bottom_mlp.activation,
+            "final_activation": config.bottom_mlp.final_activation,
+        },
+        "top_mlp": {
+            "layer_sizes": list(config.top_mlp.layer_sizes),
+            "activation": config.top_mlp.activation,
+            "final_activation": config.top_mlp.final_activation,
+        },
+        "embedding_tables": [
+            {
+                "rows": t.rows,
+                "dim": t.dim,
+                "lookups_per_sample": t.lookups_per_sample,
+            }
+            for t in config.embedding_tables
+        ],
+    }
+
+
+def config_from_dict(data: dict) -> ModelConfig:
+    """Rebuild a configuration from :func:`config_to_dict` output."""
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ConfigError(
+            f"unsupported config schema version {version!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    try:
+        return ModelConfig(
+            name=data["name"],
+            model_class=data["model_class"],
+            dense_features=data["dense_features"],
+            bottom_mlp=MLPConfig(
+                data["bottom_mlp"]["layer_sizes"],
+                activation=data["bottom_mlp"].get("activation", "relu"),
+                final_activation=data["bottom_mlp"].get("final_activation"),
+            ),
+            embedding_tables=[
+                EmbeddingTableConfig(
+                    rows=t["rows"],
+                    dim=t["dim"],
+                    lookups_per_sample=t["lookups_per_sample"],
+                )
+                for t in data["embedding_tables"]
+            ],
+            top_mlp=MLPConfig(
+                data["top_mlp"]["layer_sizes"],
+                activation=data["top_mlp"].get("activation", "relu"),
+                final_activation=data["top_mlp"].get("final_activation"),
+            ),
+            dtype=data.get("dtype", "fp32"),
+            interaction=data.get("interaction", "concat"),
+        )
+    except KeyError as missing:
+        raise ConfigError(f"config dict is missing field {missing}") from None
+
+
+def save_config(config: ModelConfig, path: str | Path) -> None:
+    """Write a configuration as pretty-printed JSON."""
+    Path(path).write_text(json.dumps(config_to_dict(config), indent=2) + "\n")
+
+
+def load_config(path: str | Path) -> ModelConfig:
+    """Read a configuration written by :func:`save_config`."""
+    return config_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,28 @@
+"""Core library: operators, model assembly, profiling, characterization."""
+
+from .model import RecommendationModel
+from .ncf import NCFModel
+from .profiler import OperatorRecord, Profile, Profiler
+from .summary import architecture_diagram, model_summary
+from .workload_stats import (
+    WorkloadPoint,
+    figure2_points,
+    resnet50_point,
+    rnn_translation_point,
+    workload_point,
+)
+
+__all__ = [
+    "RecommendationModel",
+    "NCFModel",
+    "OperatorRecord",
+    "Profile",
+    "Profiler",
+    "architecture_diagram",
+    "model_summary",
+    "WorkloadPoint",
+    "figure2_points",
+    "resnet50_point",
+    "rnn_translation_point",
+    "workload_point",
+]

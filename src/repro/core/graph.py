@@ -1,0 +1,129 @@
+"""Abstract operator graphs: shape-only views of a model configuration.
+
+Production configurations have embedding tables up to 10 GB; timing
+analysis must not require allocating them. :func:`config_ops` expands a
+:class:`~repro.config.model_config.ModelConfig` into lightweight
+:class:`OpSpec` records — one per operator, in execution order — carrying
+exactly the shape information the :mod:`repro.hw` timing model and the
+fleet cycle accountant need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config.model_config import DTYPE_BYTES, ModelConfig
+from .operators.base import (
+    OP_ACTIVATION,
+    OP_BATCH_MATMUL,
+    OP_CONCAT,
+    OP_FC,
+    OP_SLS,
+)
+
+_FP32 = 4
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Shape summary of one operator.
+
+    Attributes:
+        name: operator name, unique within the model.
+        op_type: Figure-4 category (FC, SLS, Concat, Activation, ...).
+        flops_per_sample: FLOPs per batch element.
+        weight_bytes: resident parameter bytes (0 for stateless ops).
+        activation_bytes_per_sample: activation traffic per batch element.
+        table_rows: embedding-table rows (SLS only).
+        embedding_dim: embedding dimension (SLS only).
+        lookups_per_sample: pooled gathers per element (SLS only).
+        dtype_bytes: bytes per embedding element (4 for fp32, 2 for fp16,
+            1 for int8 — quantized tables shrink every gathered row).
+    """
+
+    name: str
+    op_type: str
+    flops_per_sample: int
+    weight_bytes: int
+    activation_bytes_per_sample: int
+    table_rows: int = 0
+    embedding_dim: int = 0
+    lookups_per_sample: int = 0
+    dtype_bytes: int = 4
+
+
+def _mlp_ops(prefix: str, input_dim: int, mlp) -> list[OpSpec]:
+    ops: list[OpSpec] = []
+    fan_in = input_dim
+    last = len(mlp.layer_sizes) - 1
+    for i, width in enumerate(mlp.layer_sizes):
+        ops.append(
+            OpSpec(
+                name=f"{prefix}:fc{i}",
+                op_type=OP_FC,
+                flops_per_sample=2 * fan_in * width,
+                weight_bytes=(fan_in * width + width) * _FP32,
+                activation_bytes_per_sample=(fan_in + width) * _FP32,
+            )
+        )
+        kind = mlp.activation if i < last else (mlp.final_activation or mlp.activation)
+        if kind and kind != "none":
+            ops.append(
+                OpSpec(
+                    name=f"{prefix}:{kind}{i}",
+                    op_type=OP_ACTIVATION,
+                    flops_per_sample=width * (4 if kind == "sigmoid" else 1),
+                    weight_bytes=0,
+                    activation_bytes_per_sample=2 * width * _FP32,
+                )
+            )
+        fan_in = width
+    return ops
+
+
+def config_ops(config: ModelConfig) -> list[OpSpec]:
+    """All operators of ``config`` in execution order, shapes only."""
+    ops = _mlp_ops("bottom", config.dense_features, config.bottom_mlp)
+    for i, table in enumerate(config.embedding_tables):
+        ops.append(
+            OpSpec(
+                name=f"emb{i}:sls",
+                op_type=OP_SLS,
+                flops_per_sample=table.lookups_per_sample * table.dim,
+                weight_bytes=table.storage_bytes(config.dtype),
+                activation_bytes_per_sample=table.dim * _FP32,
+                table_rows=table.rows,
+                embedding_dim=table.dim,
+                lookups_per_sample=table.lookups_per_sample,
+                dtype_bytes=DTYPE_BYTES[config.dtype],
+            )
+        )
+    if config.interaction == "dot":
+        v = config.num_interaction_vectors
+        dim = config.bottom_mlp.output_dim
+        ops.append(
+            OpSpec(
+                name="interaction",
+                op_type=OP_BATCH_MATMUL,
+                flops_per_sample=config.interaction_flops_per_sample(),
+                weight_bytes=0,
+                activation_bytes_per_sample=(v * dim + v * (v - 1) // 2) * _FP32,
+            )
+        )
+    concat_dim = config.top_mlp_input_dim
+    ops.append(
+        OpSpec(
+            name="concat",
+            op_type=OP_CONCAT,
+            flops_per_sample=0,
+            weight_bytes=0,
+            activation_bytes_per_sample=2 * concat_dim * _FP32,
+        )
+    )
+    ops.extend(_mlp_ops("top", concat_dim, config.top_mlp))
+    return ops
+
+
+def fc_weight_bytes(config: ModelConfig) -> int:
+    """Total FC weight bytes — the dense working set a core must keep warm."""
+    return sum(op.weight_bytes for op in config_ops(config) if op.op_type == OP_FC)

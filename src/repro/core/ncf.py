@@ -1,0 +1,133 @@
+"""Neural Collaborative Filtering (NCF) — the MLPerf baseline (Section VII).
+
+The paper contrasts production RMC models against MLPerf-NCF and finds the
+public benchmark unrepresentative: orders of magnitude smaller embedding
+tables (MovieLens-20m), one lookup per table, and FC-dominated execution
+(>90% of NCF time is FC, versus ~80% SLS for batched RMC1/RMC2). This module
+implements NeuMF (GMF branch x MLP branch) so Figure 12's comparison and the
+operator-mix contrast are computed from a real model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .operators import (
+    Activation,
+    Concat,
+    EmbeddingTable,
+    FullyConnected,
+    SparseBatch,
+    SparseLengthsSum,
+)
+from .operators.base import Operator, OperatorCost, sum_costs
+from .profiler import Profile, Profiler
+
+
+class NCFModel:
+    """NeuMF: GMF (element-wise product of embeddings) + MLP tower.
+
+    Args:
+        num_users: user-table rows (MovieLens-20m: ~138k).
+        num_items: item-table rows (MovieLens-20m: ~27k).
+        embedding_dim: shared embedding dimension (MLPerf uses 64).
+        mlp_layers: hidden widths of the MLP tower.
+        rng: parameter-initialization generator.
+    """
+
+    def __init__(
+        self,
+        num_users: int = 138_000,
+        num_items: int = 27_000,
+        embedding_dim: int = 64,
+        mlp_layers: tuple[int, ...] = (128, 64, 32),
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if min(num_users, num_items, embedding_dim) < 1 or not mlp_layers:
+            raise ValueError("NCF parameters must be positive / non-empty")
+        rng = rng or np.random.default_rng(2020)
+        self.embedding_dim = embedding_dim
+
+        self.user_table = EmbeddingTable(num_users, embedding_dim, rng=rng)
+        self.item_table = EmbeddingTable(num_items, embedding_dim, rng=rng)
+        self.user_lookup = SparseLengthsSum("ncf:user", self.user_table, 1)
+        self.item_lookup = SparseLengthsSum("ncf:item", self.item_table, 1)
+
+        self.mlp_concat = Concat("ncf:concat", [embedding_dim, embedding_dim])
+        self.mlp_ops: list[Operator] = []
+        fan_in = 2 * embedding_dim
+        for i, width in enumerate(mlp_layers):
+            self.mlp_ops.append(FullyConnected(f"ncf:mlp{i}", fan_in, width, rng=rng))
+            self.mlp_ops.append(Activation(f"ncf:relu{i}", "relu", width))
+            fan_in = width
+        # NeuMF head: concat(GMF vector, MLP output) -> 1 logit -> sigmoid.
+        self.head_concat = Concat("ncf:head_concat", [embedding_dim, fan_in])
+        self.head = FullyConnected("ncf:head", embedding_dim + fan_in, 1, rng=rng)
+        self.head_act = Activation("ncf:sigmoid", "sigmoid", 1)
+
+    def operators(self) -> list[Operator]:
+        """All operators in execution order."""
+        return [
+            self.user_lookup,
+            self.item_lookup,
+            self.mlp_concat,
+            *self.mlp_ops,
+            self.head_concat,
+            self.head,
+            self.head_act,
+        ]
+
+    def storage_bytes(self) -> int:
+        """Resident parameter bytes (tables + FC weights)."""
+        return sum(op.parameter_bytes() for op in self.operators())
+
+    def cost(self, batch_size: int) -> OperatorCost:
+        """Aggregate analytical cost of one forward pass."""
+        total = sum_costs(op.cost(batch_size) for op in self.operators())
+        # Element-wise GMF product: one FLOP per embedding element.
+        gmf = OperatorCost(
+            flops=batch_size * self.embedding_dim,
+            bytes_read=2 * batch_size * self.embedding_dim * 4,
+            bytes_written=batch_size * self.embedding_dim * 4,
+        )
+        return total + gmf
+
+    def forward(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        """Predict interaction probability for ``(users[k], items[k])`` pairs."""
+        out, _ = self._forward(users, items, profiler=None)
+        return out
+
+    def forward_profiled(
+        self, users: np.ndarray, items: np.ndarray
+    ) -> tuple[np.ndarray, Profile]:
+        """Forward pass with per-operator timing."""
+        profiler = Profiler()
+        out, _ = self._forward(users, items, profiler=profiler)
+        return out, profiler.reset()
+
+    def _forward(self, users, items, profiler: Profiler | None):
+        users = np.asarray(users, dtype=np.int64).reshape(-1)
+        items = np.asarray(items, dtype=np.int64).reshape(-1)
+        if users.shape != items.shape:
+            raise ValueError("users and items must have the same length")
+        batch = users.shape[0]
+        ones = np.ones(batch, dtype=np.int64)
+        user_batch = SparseBatch(ids=users, lengths=ones)
+        item_batch = SparseBatch(ids=items, lengths=ones)
+
+        def run(op: Operator, *inputs):
+            if profiler is not None:
+                return profiler.run(op, batch, *inputs)
+            return op.forward(*inputs)
+
+        user_vec = run(self.user_lookup, user_batch)
+        item_vec = run(self.item_lookup, item_batch)
+
+        gmf = user_vec * item_vec
+        x = run(self.mlp_concat, user_vec, item_vec)
+        for op in self.mlp_ops:
+            x = run(op, x)
+        combined = run(self.head_concat, gmf, x)
+        logit = run(self.head, combined)
+        prob = run(self.head_act, logit)
+        return prob.reshape(-1), None

@@ -1,0 +1,66 @@
+"""Operator library: the building blocks of recommendation models."""
+
+from .base import (
+    ALL_OP_TYPES,
+    MemoryAccess,
+    Operator,
+    OperatorCost,
+    OP_ACTIVATION,
+    OP_BATCH_MATMUL,
+    OP_CONCAT,
+    OP_CONV,
+    OP_FC,
+    OP_OTHER,
+    OP_RECURRENT,
+    OP_SLS,
+    ZERO_COST,
+    sum_costs,
+)
+from .activations import Activation, relu, sigmoid
+from .concat import Concat
+from .fc import FullyConnected
+from .interactions import DotInteraction
+from .quantized import (
+    QuantizedEmbeddingTable,
+    QuantizedSparseLengthsSum,
+)
+from .reference import Conv2D, RecurrentCell
+from .sls import (
+    EmbeddingTable,
+    SparseBatch,
+    SparseLengthsSum,
+    SparseLengthsWeightedSum,
+    sls_reference,
+)
+
+__all__ = [
+    "ALL_OP_TYPES",
+    "MemoryAccess",
+    "Operator",
+    "OperatorCost",
+    "OP_ACTIVATION",
+    "OP_BATCH_MATMUL",
+    "OP_CONCAT",
+    "OP_CONV",
+    "OP_FC",
+    "OP_OTHER",
+    "OP_RECURRENT",
+    "OP_SLS",
+    "ZERO_COST",
+    "sum_costs",
+    "Activation",
+    "relu",
+    "sigmoid",
+    "Concat",
+    "FullyConnected",
+    "DotInteraction",
+    "QuantizedEmbeddingTable",
+    "QuantizedSparseLengthsSum",
+    "Conv2D",
+    "RecurrentCell",
+    "EmbeddingTable",
+    "SparseBatch",
+    "SparseLengthsSum",
+    "SparseLengthsWeightedSum",
+    "sls_reference",
+]

@@ -1,0 +1,64 @@
+"""Element-wise activation operators (ReLU, Sigmoid).
+
+Activations are the "Activ." slice of the paper's Figure 4 cycle breakdown:
+one FLOP-ish per element, streaming access, never a bottleneck but part of
+the "Rest" time in co-location studies (Figure 9).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Operator, OperatorCost, OP_ACTIVATION
+
+_FP32 = 4
+
+
+class Activation(Operator):
+    """Element-wise non-linearity over a ``(batch, dim)`` activation."""
+
+    op_type = OP_ACTIVATION
+
+    #: FLOPs charged per element; sigmoid's exp/division is costed higher.
+    _FLOPS_PER_ELEMENT = {"relu": 1, "sigmoid": 4, "none": 0}
+
+    def __init__(self, name: str, kind: str, dim: int) -> None:
+        super().__init__(name)
+        if kind not in self._FLOPS_PER_ELEMENT:
+            raise ValueError(f"unsupported activation kind {kind!r}")
+        if dim < 1:
+            raise ValueError("activation dim must be positive")
+        self.kind = kind
+        self.dim = dim
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if self.kind == "relu":
+            return np.maximum(x, 0.0)
+        if self.kind == "sigmoid":
+            # Numerically stable logistic.
+            out = np.empty_like(x, dtype=np.float32)
+            positive = x >= 0
+            out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+            exp_x = np.exp(x[~positive])
+            out[~positive] = exp_x / (1.0 + exp_x)
+            return out
+        return x
+
+    def cost(self, batch_size: int) -> OperatorCost:
+        elements = batch_size * self.dim
+        moved = elements * _FP32
+        return OperatorCost(
+            flops=elements * self._FLOPS_PER_ELEMENT[self.kind],
+            bytes_read=moved,
+            bytes_written=moved,
+        )
+
+
+def relu(name: str, dim: int) -> Activation:
+    """Convenience constructor for a ReLU."""
+    return Activation(name, "relu", dim)
+
+
+def sigmoid(name: str, dim: int) -> Activation:
+    """Convenience constructor for a Sigmoid."""
+    return Activation(name, "sigmoid", dim)

@@ -1,0 +1,112 @@
+"""Quantized embedding tables (int8 / fp16).
+
+The paper lists reduced-precision datatypes among the standard DNN
+optimizations and notes that "a combination of aggressive compression and
+novel memory technologies are needed to reduce the memory capacity
+requirements" of recommendation models. Embedding tables are the natural
+target: row-wise int8 quantization cuts the 10 GB-class RMC2 storage (and
+every gathered byte) by ~4x at a small accuracy cost.
+
+:class:`QuantizedEmbeddingTable` stores int8 rows with per-row scale/offset
+(the standard row-wise affine scheme used for production embeddings);
+:class:`QuantizedSparseLengthsSum` dequantizes on gather and pools exactly
+like the fp32 operator, so outputs are directly comparable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import MemoryAccess, Operator, OperatorCost, OP_SLS
+from .sls import EmbeddingTable, SparseBatch
+
+_INT8 = 1
+_SCALE_BYTES = 8  # fp32 scale + fp32 offset per row
+_ID_BYTES = 8
+
+
+class QuantizedEmbeddingTable:
+    """Row-wise affine int8 quantization of an embedding table.
+
+    Each row r is stored as ``q = round((x - min_r) / scale_r)`` with
+    ``scale_r = (max_r - min_r) / 255``; dequantization is
+    ``x ≈ q * scale_r + min_r``.
+    """
+
+    def __init__(self, source: EmbeddingTable) -> None:
+        self.rows = source.rows
+        self.dim = source.dim
+        data = source.data
+        row_min = data.min(axis=1, keepdims=True)
+        row_max = data.max(axis=1, keepdims=True)
+        spread = np.maximum(row_max - row_min, 1e-12)
+        self.scale = (spread / 255.0).astype(np.float32)
+        self.offset = row_min.astype(np.float32)
+        self.data = np.clip(
+            np.rint((data - self.offset) / self.scale), 0, 255
+        ).astype(np.uint8)
+
+    @classmethod
+    def quantize(cls, source: EmbeddingTable) -> "QuantizedEmbeddingTable":
+        """Quantize an fp32 table."""
+        return cls(source)
+
+    def storage_bytes(self) -> int:
+        """int8 payload plus per-row scale/offset metadata."""
+        return self.rows * (self.dim * _INT8 + _SCALE_BYTES)
+
+    def dequantize_rows(self, ids: np.ndarray) -> np.ndarray:
+        """Gather and dequantize the given rows to fp32."""
+        q = self.data[ids].astype(np.float32)
+        return q * self.scale[ids] + self.offset[ids]
+
+    def max_abs_error(self, source: EmbeddingTable) -> float:
+        """Worst-case absolute reconstruction error vs the fp32 table."""
+        recon = self.dequantize_rows(np.arange(self.rows))
+        return float(np.abs(recon - source.data).max())
+
+
+class QuantizedSparseLengthsSum(Operator):
+    """SLS over an int8 table: gather, dequantize, pool."""
+
+    op_type = OP_SLS
+
+    def __init__(
+        self, name: str, table: QuantizedEmbeddingTable, lookups_per_sample: int
+    ) -> None:
+        super().__init__(name)
+        if lookups_per_sample < 1:
+            raise ValueError("lookups_per_sample must be positive")
+        self.table = table
+        self.lookups_per_sample = lookups_per_sample
+
+    def forward(self, batch: SparseBatch) -> np.ndarray:  # type: ignore[override]
+        ids = batch.ids
+        if ids.size and (ids.min() < 0 or ids.max() >= self.table.rows):
+            raise IndexError(f"{self.name}: sparse ID out of range")
+        gathered = self.table.dequantize_rows(ids)
+        out = np.zeros((batch.batch_size, self.table.dim), dtype=np.float32)
+        segment = np.repeat(np.arange(batch.batch_size), batch.lengths)
+        np.add.at(out, segment, gathered)
+        return out
+
+    def parameter_bytes(self) -> int:
+        return self.table.storage_bytes()
+
+    def cost(self, batch_size: int) -> OperatorCost:
+        lookups = batch_size * self.lookups_per_sample
+        row_bytes = self.table.dim * _INT8 + _SCALE_BYTES
+        # Dequantize adds one multiply-add per element on top of pooling.
+        flops = lookups * self.table.dim * 3
+        return OperatorCost(
+            flops=flops,
+            bytes_read=lookups * (row_bytes + _ID_BYTES),
+            bytes_written=batch_size * self.table.dim * 4,
+        )
+
+    def address_trace(self, batch_size: int, rng=None):
+        rng = rng or np.random.default_rng(0)
+        row_bytes = self.table.dim * _INT8 + _SCALE_BYTES
+        rows = rng.integers(0, self.table.rows, size=batch_size * self.lookups_per_sample)
+        for row in rows:
+            yield MemoryAccess(address=int(row) * row_bytes, size=row_bytes)

@@ -1,0 +1,103 @@
+"""Model summaries: per-operator tables and the Figure-3 diagram.
+
+`model_summary` is the torchsummary-style view — one row per operator with
+output shape, parameters, FLOPs and bytes at a given batch size.
+`architecture_diagram` renders the paper's Figure-3 topology for any
+configuration, which doubles as living documentation of what a config
+means.
+"""
+
+from __future__ import annotations
+
+from ..analysis.tables import format_table
+from ..config.model_config import ModelConfig
+from .graph import config_ops
+
+
+def _output_dim(config: ModelConfig, name: str) -> str:
+    """Best-effort output width of a named op in the abstract graph."""
+    if name.startswith("bottom:") or name.startswith("top:"):
+        prefix, rest = name.split(":")
+        mlp = config.bottom_mlp if prefix == "bottom" else config.top_mlp
+        index = int("".join(ch for ch in rest if ch.isdigit()))
+        return str(mlp.layer_sizes[index])
+    if name.startswith("emb"):
+        table_idx = int(name[3 : name.index(":")])
+        return str(config.embedding_tables[table_idx].dim)
+    if name == "interaction":
+        v = config.num_interaction_vectors
+        return str(v * (v - 1) // 2)
+    if name == "concat":
+        return str(config.top_mlp_input_dim)
+    return "-"
+
+
+def model_summary(config: ModelConfig, batch_size: int = 1) -> str:
+    """Per-operator summary table for one configuration."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be positive")
+    rows = []
+    total_params = 0
+    total_flops = 0
+    for spec in config_ops(config):
+        params = spec.weight_bytes // 4
+        flops = batch_size * spec.flops_per_sample
+        total_params += params
+        total_flops += flops
+        rows.append(
+            [
+                spec.name,
+                spec.op_type,
+                _output_dim(config, spec.name),
+                f"{params:,}",
+                f"{flops:,}",
+            ]
+        )
+    table = format_table(
+        ["operator", "type", "out dim", "params", f"FLOPs @b{batch_size}"],
+        rows,
+        title=f"{config.name} ({config.model_class})",
+    )
+    footer = (
+        f"total: {total_params:,} parameters "
+        f"({config.total_storage_bytes() / 1e6:,.1f} MB), "
+        f"{total_flops:,} FLOPs at batch {batch_size}"
+    )
+    return f"{table}\n{footer}"
+
+
+def architecture_diagram(config: ModelConfig) -> str:
+    """ASCII rendering of the Figure-3 model topology."""
+    bottom = "-".join(str(w) for w in config.bottom_mlp.layer_sizes)
+    top = "-".join(str(w) for w in config.top_mlp.layer_sizes)
+    tables = config.embedding_tables
+    if len({(t.rows, t.dim, t.lookups_per_sample) for t in tables}) == 1:
+        t = tables[0]
+        table_line = (
+            f"{len(tables)} x [{t.rows:,} rows x {t.dim}] "
+            f"({t.lookups_per_sample} lookups each)"
+        )
+    else:
+        table_line = ", ".join(
+            f"[{t.rows:,}x{t.dim}/{t.lookups_per_sample}]" for t in tables
+        )
+    combine = (
+        "dot-interaction (BatchMM) + concat"
+        if config.interaction == "dot"
+        else "concat"
+    )
+    lines = [
+        f"                 CTR (sigmoid)",
+        f"                      ^",
+        f"              Top-MLP [{top}]",
+        f"                      ^",
+        f"          {combine} -> width {config.top_mlp_input_dim}",
+        f"              ^                ^",
+        f"  Bottom-MLP [{bottom}]   SparseLengthsSum",
+        f"              ^                ^",
+        f"   dense [{config.dense_features}]        embedding tables:",
+        f"                          {table_line}",
+        f"                               ^",
+        f"                        sparse IDs ({config.total_lookups}/sample)",
+    ]
+    return "\n".join(lines)

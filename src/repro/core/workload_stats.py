@@ -1,0 +1,82 @@
+"""Workload-level statistics: the Figure 2 / Figure 12 characterization.
+
+Computes per-inference FLOPs, bytes and storage for recommendation models
+and for the CNN/RNN/NCF comparison points, entirely from configs and
+operator cost models (no execution needed), so production-scale
+configurations can be characterized without allocating their tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config.model_config import ModelConfig
+from .operators.reference import Conv2D, RecurrentCell
+
+
+@dataclass(frozen=True)
+class WorkloadPoint:
+    """One point in the Figure-2 compute/memory plane."""
+
+    name: str
+    category: str  # "RMC", "NCF", "CNN", "RNN"
+    flops: int
+    bytes_read: int
+    storage_bytes: int
+
+    @property
+    def operational_intensity(self) -> float:
+        """FLOPs per byte read."""
+        return self.flops / self.bytes_read if self.bytes_read else float("inf")
+
+
+def workload_point(config: ModelConfig) -> WorkloadPoint:
+    """Characterize a recommendation-model config at unit batch."""
+    category = "NCF" if config.model_class == "NCF" else "RMC"
+    return WorkloadPoint(
+        name=config.name,
+        category=category,
+        flops=config.flops_per_sample(),
+        bytes_read=config.bytes_read_per_sample(),
+        storage_bytes=config.total_storage_bytes(),
+    )
+
+
+# Full-network reference points, assembled from per-layer cost models so the
+# numbers are derived rather than quoted. Shapes follow the paper's Figure 2
+# comparison set.
+
+
+def resnet50_point() -> WorkloadPoint:
+    """ResNet50-scale CNN: ~4 GFLOPs per image, ~25M parameters."""
+    # Approximate the network as its dominant conv stages.
+    stages = [
+        Conv2D("conv2", 64, 64, 3, 56) for _ in range(6)
+    ] + [
+        Conv2D("conv3", 128, 128, 3, 28) for _ in range(8)
+    ] + [
+        Conv2D("conv4", 256, 256, 3, 14) for _ in range(12)
+    ] + [
+        Conv2D("conv5", 512, 512, 3, 7) for _ in range(6)
+    ]
+    flops = sum(s.cost(1).flops for s in stages)
+    bytes_read = sum(s.cost(1).bytes_read for s in stages)
+    storage = sum(s.parameter_bytes() for s in stages)
+    return WorkloadPoint("ResNet50", "CNN", flops, bytes_read, storage)
+
+
+def rnn_translation_point() -> WorkloadPoint:
+    """GNMT/DeepSpeech2-scale recurrent network: stacked wide RNN layers."""
+    layers = [RecurrentCell(f"rnn{i}", 1024, 1024, 50) for i in range(4)]
+    flops = sum(layer.cost(1).flops for layer in layers)
+    bytes_read = sum(layer.cost(1).bytes_read for layer in layers)
+    storage = sum(layer.parameter_bytes() for layer in layers)
+    return WorkloadPoint("GNMT-RNN", "RNN", flops, bytes_read, storage)
+
+
+def figure2_points(configs: list[ModelConfig]) -> list[WorkloadPoint]:
+    """The full Figure-2 comparison set: given RMC/NCF configs + CNN/RNN."""
+    points = [workload_point(cfg) for cfg in configs]
+    points.append(resnet50_point())
+    points.append(rnn_translation_point())
+    return points

@@ -1,0 +1,182 @@
+"""Criteo-format click-log pipeline (the paper's public-dataset hook).
+
+The open-source benchmark can be "instrumented with open-source data sets"
+— the Criteo click logs being the canonical one (reference [3] in the
+paper). This module implements the full path a user with real Criteo data
+needs, plus a synthetic generator so everything is testable offline:
+
+* the Criteo TSV schema: ``label, 13 integer features, 26 categorical
+  features`` (categoricals as hex strings, any field possibly empty);
+* a synthetic writer producing format-faithful files;
+* a reader with the standard preprocessing: ``log(1+x)`` on dense features
+  (missing → 0) and hashing of categorical tokens into each embedding
+  table's domain (missing → 0);
+* conversion into model-ready ``(dense, sparse, labels)`` batches for a
+  :class:`~repro.config.model_config.ModelConfig` with 26 tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..config.model_config import ModelConfig
+from ..core.operators.sls import SparseBatch
+
+NUM_DENSE = 13
+NUM_CATEGORICAL = 26
+
+
+@dataclass(frozen=True)
+class CriteoRecord:
+    """One parsed click-log line."""
+
+    label: int
+    dense: tuple[int | None, ...]
+    categorical: tuple[str | None, ...]
+
+
+def write_synthetic_criteo(
+    path: str | Path,
+    num_records: int,
+    seed: int = 0,
+    click_rate: float = 0.25,
+    missing_rate: float = 0.1,
+) -> None:
+    """Write a format-faithful synthetic Criteo TSV file."""
+    if num_records < 1:
+        raise ValueError("num_records must be positive")
+    if not 0 <= missing_rate < 1:
+        raise ValueError("missing_rate must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+    lines = []
+    for _ in range(num_records):
+        label = "1" if rng.random() < click_rate else "0"
+        dense = [
+            "" if rng.random() < missing_rate else str(int(rng.integers(0, 5000)))
+            for _ in range(NUM_DENSE)
+        ]
+        cats = [
+            ""
+            if rng.random() < missing_rate
+            else f"{int(rng.integers(0, 1 << 32)):08x}"
+            for _ in range(NUM_CATEGORICAL)
+        ]
+        lines.append("\t".join([label] + dense + cats))
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def parse_criteo_line(line: str) -> CriteoRecord:
+    """Parse one TSV line into a :class:`CriteoRecord`."""
+    fields = line.rstrip("\n").split("\t")
+    expected = 1 + NUM_DENSE + NUM_CATEGORICAL
+    if len(fields) != expected:
+        raise ValueError(
+            f"Criteo line has {len(fields)} fields, expected {expected}"
+        )
+    label = int(fields[0])
+    if label not in (0, 1):
+        raise ValueError(f"label must be 0/1, got {label}")
+    dense = tuple(
+        int(f) if f != "" else None for f in fields[1 : 1 + NUM_DENSE]
+    )
+    categorical = tuple(
+        f if f != "" else None for f in fields[1 + NUM_DENSE :]
+    )
+    return CriteoRecord(label=label, dense=dense, categorical=categorical)
+
+
+def read_criteo(path: str | Path) -> list[CriteoRecord]:
+    """Read an entire Criteo TSV file."""
+    records = []
+    with open(Path(path)) as fh:
+        for line in fh:
+            if line.strip():
+                records.append(parse_criteo_line(line))
+    return records
+
+
+def _hash_token(token: str, domain: int) -> int:
+    """Stable hash of a categorical token into [0, domain)."""
+    # FNV-1a, stable across processes (unlike built-in hash()).
+    value = 0xCBF29CE484222325
+    for byte in token.encode():
+        value = ((value ^ byte) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return value % domain
+
+
+class CriteoPreprocessor:
+    """Turns Criteo records into model-ready batches.
+
+    Args:
+        config: target model; must have exactly 26 embedding tables (one
+            per categorical feature) and at least 13 dense features. Dense
+            features beyond the 13 Criteo integers are zero-padded.
+    """
+
+    def __init__(self, config: ModelConfig) -> None:
+        if config.num_tables != NUM_CATEGORICAL:
+            raise ValueError(
+                f"Criteo has {NUM_CATEGORICAL} categorical features; the "
+                f"model has {config.num_tables} tables"
+            )
+        if config.dense_features < NUM_DENSE:
+            raise ValueError(
+                f"model needs >= {NUM_DENSE} dense features for Criteo"
+            )
+        self.config = config
+
+    def dense_matrix(self, records: list[CriteoRecord]) -> np.ndarray:
+        """``log(1+x)``-transformed dense features, zero for missing."""
+        out = np.zeros((len(records), self.config.dense_features), dtype=np.float32)
+        for i, record in enumerate(records):
+            for j, value in enumerate(record.dense):
+                if value is not None and value >= 0:
+                    out[i, j] = np.log1p(float(value))
+        return out
+
+    def sparse_batches(self, records: list[CriteoRecord]) -> list[SparseBatch]:
+        """One single-lookup SparseBatch per categorical feature."""
+        batches = []
+        for feature, table in enumerate(self.config.embedding_tables):
+            ids = np.array(
+                [
+                    _hash_token(r.categorical[feature], table.rows)
+                    if r.categorical[feature] is not None
+                    else 0
+                    for r in records
+                ],
+                dtype=np.int64,
+            )
+            lengths = np.ones(len(records), dtype=np.int64)
+            batches.append(SparseBatch(ids=ids, lengths=lengths))
+        return batches
+
+    def batch(
+        self, records: list[CriteoRecord]
+    ) -> tuple[np.ndarray, list[SparseBatch], np.ndarray]:
+        """Full model-ready batch: (dense, sparse, labels)."""
+        if not records:
+            raise ValueError("need at least one record")
+        labels = np.array([r.label for r in records], dtype=np.float32)
+        return self.dense_matrix(records), self.sparse_batches(records), labels
+
+
+def criteo_model_config(
+    rows_per_table: int = 100_000, embedding_dim: int = 16
+) -> ModelConfig:
+    """A DLRM configuration shaped for the Criteo schema (26 tables)."""
+    from ..config.model_config import MLPConfig, uniform_tables
+
+    return ModelConfig(
+        name="criteo-dlrm",
+        model_class="RMC1",
+        dense_features=NUM_DENSE,
+        bottom_mlp=MLPConfig([64, 32, embedding_dim]),
+        embedding_tables=uniform_tables(
+            NUM_CATEGORICAL, rows_per_table, embedding_dim, 1
+        ),
+        top_mlp=MLPConfig([64, 32, 1], final_activation="sigmoid"),
+    )

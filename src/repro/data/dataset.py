@@ -1,0 +1,59 @@
+"""Batch-level input generation for whole models (the load-generator feed)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config.model_config import ModelConfig
+from ..core.operators.sls import SparseBatch
+from .dense import dense_features
+from .sparse import SparseGenerator, UniformSparseGenerator
+
+
+class InputGenerator:
+    """Generates (dense, sparse) inputs matching a :class:`ModelConfig`.
+
+    Args:
+        config: the target model's configuration.
+        sparse_generators: optional per-table generators; defaults to
+            uniform IDs (the paper's low-reuse production behaviour).
+        seed: RNG seed for reproducible workloads.
+    """
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        sparse_generators: list[SparseGenerator] | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.config = config
+        if sparse_generators is None:
+            sparse_generators = [
+                UniformSparseGenerator(t.rows, t.lookups_per_sample)
+                for t in config.embedding_tables
+            ]
+        if len(sparse_generators) != config.num_tables:
+            raise ValueError(
+                f"need {config.num_tables} sparse generators, got "
+                f"{len(sparse_generators)}"
+            )
+        for gen, table in zip(sparse_generators, config.embedding_tables):
+            if gen.rows > table.rows:
+                raise ValueError(
+                    f"generator domain {gen.rows} exceeds table rows {table.rows}"
+                )
+        self.sparse_generators = sparse_generators
+        self.rng = np.random.default_rng(seed)
+
+    def batch(self, batch_size: int) -> tuple[np.ndarray, list[SparseBatch]]:
+        """One model-ready input batch."""
+        dense = dense_features(batch_size, self.config.dense_features, self.rng)
+        sparse = [g.batch(batch_size, self.rng) for g in self.sparse_generators]
+        return dense, sparse
+
+
+def generate_inputs(
+    config: ModelConfig, batch_size: int, seed: int = 0
+) -> tuple[np.ndarray, list[SparseBatch]]:
+    """One-shot convenience wrapper around :class:`InputGenerator`."""
+    return InputGenerator(config, seed=seed).batch(batch_size)

@@ -1,0 +1,20 @@
+"""Dense-feature generation.
+
+Dense features (e.g. user age) are continuous inputs processed by the
+Bottom-MLP. For characterization purposes their *values* are irrelevant —
+only their width matters — so a standard-normal generator suffices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def dense_features(
+    batch_size: int, num_features: int, rng: np.random.Generator | None = None
+) -> np.ndarray:
+    """Generate a ``(batch_size, num_features)`` float32 dense input."""
+    if batch_size < 1 or num_features < 1:
+        raise ValueError("batch_size and num_features must be positive")
+    rng = rng or np.random.default_rng(0)
+    return rng.standard_normal((batch_size, num_features)).astype(np.float32)

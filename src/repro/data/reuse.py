@@ -1,0 +1,123 @@
+"""Reuse-distance (Mattson stack-distance) analysis of embedding traces.
+
+The classic memory-systems tool the paper's trace release enables: for an
+LRU cache, a reference hits iff its *stack distance* — the number of
+distinct IDs touched since the previous reference to the same ID — is
+below the cache capacity. One pass over a trace therefore yields the hit
+ratio of *every* cache size simultaneously (the miss-ratio curve), which
+is how capacity decisions for embedding caches / DRAM tiers should be
+made rather than replaying per size.
+
+The implementation uses a Fenwick (binary indexed) tree over reference
+timestamps: O(N log N) for an N-lookup trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class _Fenwick:
+    """Prefix-sum tree over trace positions."""
+
+    def __init__(self, size: int) -> None:
+        self._tree = np.zeros(size + 1, dtype=np.int64)
+        self._size = size
+
+    def add(self, index: int, delta: int) -> None:
+        i = index + 1
+        while i <= self._size:
+            self._tree[i] += delta
+            i += i & (-i)
+
+    def prefix_sum(self, index: int) -> int:
+        """Sum of entries at positions [0, index]."""
+        i = index + 1
+        total = 0
+        while i > 0:
+            total += int(self._tree[i])
+            i -= i & (-i)
+        return total
+
+
+def stack_distances(ids: np.ndarray) -> np.ndarray:
+    """Per-reference LRU stack distances; first touches get -1.
+
+    ``distances[k]`` is the number of *distinct* IDs referenced strictly
+    between reference ``k`` and the previous reference to the same ID.
+    """
+    ids = np.asarray(ids).reshape(-1)
+    if ids.size == 0:
+        raise ValueError("trace must contain at least one lookup")
+    n = int(ids.size)
+    tree = _Fenwick(n)
+    last_pos: dict[int, int] = {}
+    out = np.empty(n, dtype=np.int64)
+    for k in range(n):
+        key = int(ids[k])
+        prev = last_pos.get(key)
+        if prev is None:
+            out[k] = -1
+        else:
+            # Distinct IDs since prev = live markers in (prev, k).
+            out[k] = tree.prefix_sum(k - 1) - tree.prefix_sum(prev)
+            tree.add(prev, -1)
+        tree.add(k, +1)
+        last_pos[key] = k
+    return out
+
+
+@dataclass(frozen=True)
+class ReuseProfile:
+    """Reuse statistics of one trace."""
+
+    lookups: int
+    compulsory: int
+    distance_histogram: np.ndarray  # counts per stack distance
+
+    @property
+    def compulsory_fraction(self) -> float:
+        """First-touch (unique-ID) fraction — Figure 14's y-axis."""
+        return self.compulsory / self.lookups
+
+    def hit_ratio(self, capacity_rows: int) -> float:
+        """LRU hit ratio at a given cache capacity (in rows)."""
+        if capacity_rows < 0:
+            raise ValueError("capacity must be non-negative")
+        if capacity_rows == 0:
+            return 0.0
+        hits = int(self.distance_histogram[: capacity_rows].sum())
+        return hits / self.lookups
+
+    def hit_ratio_curve(self, capacities: list[int]) -> dict[int, float]:
+        """Hit ratios at several capacities from the single profile."""
+        return {c: self.hit_ratio(c) for c in capacities}
+
+    def working_set_size(self, target_hit_ratio: float) -> int | None:
+        """Smallest capacity achieving ``target_hit_ratio`` (None if never).
+
+        The achievable ceiling is ``1 - compulsory_fraction``.
+        """
+        if not 0.0 < target_hit_ratio <= 1.0:
+            raise ValueError("target_hit_ratio must be in (0, 1]")
+        cumulative = np.cumsum(self.distance_histogram) / self.lookups
+        indices = np.nonzero(cumulative >= target_hit_ratio)[0]
+        if indices.size == 0:
+            return None
+        return int(indices[0]) + 1
+
+
+def reuse_profile(ids: np.ndarray) -> ReuseProfile:
+    """Build the reuse profile of a trace in one pass."""
+    distances = stack_distances(ids)
+    compulsory = int((distances < 0).sum())
+    finite = distances[distances >= 0]
+    max_distance = int(finite.max()) if finite.size else 0
+    histogram = np.bincount(finite, minlength=max_distance + 1)
+    return ReuseProfile(
+        lookups=int(distances.size),
+        compulsory=compulsory,
+        distance_histogram=histogram,
+    )

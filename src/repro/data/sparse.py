@@ -1,0 +1,117 @@
+"""Sparse-ID generators with controllable locality.
+
+The memory behaviour of SLS is entirely determined by the distribution of
+sparse IDs (Section VII / Figure 14): production traces span from nearly
+random (every lookup unique, compulsory misses) to highly reusable (few
+unique IDs, cache-friendly). Three generators cover that axis:
+
+* :class:`UniformSparseGenerator` — every ID uniform over the table; the
+  "random" baseline of Figure 14 (~100% unique for large tables).
+* :class:`ZipfSparseGenerator` — power-law popularity, the classic skew of
+  content IDs.
+* :class:`TemporalReuseGenerator` — with probability ``reuse_probability``
+  re-draws a recently-seen ID; directly dials the unique-ID fraction, which
+  is the quantity Figure 14 reports.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..core.operators.sls import SparseBatch
+
+
+class SparseGenerator(abc.ABC):
+    """Generates batches of sparse IDs for one embedding table."""
+
+    def __init__(self, rows: int, lookups_per_sample: int) -> None:
+        if rows < 1:
+            raise ValueError("rows must be positive")
+        if lookups_per_sample < 1:
+            raise ValueError("lookups_per_sample must be positive")
+        self.rows = rows
+        self.lookups_per_sample = lookups_per_sample
+
+    @abc.abstractmethod
+    def ids(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``count`` sparse IDs in ``[0, rows)``."""
+
+    def batch(self, batch_size: int, rng: np.random.Generator) -> SparseBatch:
+        """Draw a :class:`SparseBatch` with the configured pooling factor."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        total = batch_size * self.lookups_per_sample
+        all_ids = self.ids(total, rng)
+        lengths = np.full(batch_size, self.lookups_per_sample, dtype=np.int64)
+        return SparseBatch(ids=all_ids, lengths=lengths)
+
+
+class UniformSparseGenerator(SparseGenerator):
+    """IDs drawn uniformly at random — the compulsory-miss worst case."""
+
+    def ids(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.integers(0, self.rows, size=count, dtype=np.int64)
+
+
+class ZipfSparseGenerator(SparseGenerator):
+    """Power-law ID popularity: rank-``r`` ID has weight ``r**-alpha``.
+
+    ``alpha`` near 0 approaches uniform; larger values concentrate lookups
+    on a small hot set, creating the cacheable traces on the right side of
+    Figure 14.
+    """
+
+    def __init__(self, rows: int, lookups_per_sample: int, alpha: float = 1.0) -> None:
+        super().__init__(rows, lookups_per_sample)
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.alpha = alpha
+        ranks = np.arange(1, rows + 1, dtype=np.float64)
+        weights = ranks**-alpha
+        self._cdf = np.cumsum(weights / weights.sum())
+
+    def ids(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        u = rng.random(count)
+        return np.searchsorted(self._cdf, u).astype(np.int64).clip(0, self.rows - 1)
+
+
+class TemporalReuseGenerator(SparseGenerator):
+    """Mixes fresh uniform draws with re-draws from a recent-ID history.
+
+    With probability ``reuse_probability`` an ID is sampled from the last
+    ``history`` IDs generated; otherwise it is a fresh uniform draw. For long
+    sequences the unique-ID fraction approaches ``1 - reuse_probability``,
+    making this the natural knob for sweeping Figure 14's x-axis.
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        lookups_per_sample: int,
+        reuse_probability: float,
+        history: int = 4096,
+    ) -> None:
+        super().__init__(rows, lookups_per_sample)
+        if not 0.0 <= reuse_probability < 1.0:
+            raise ValueError("reuse_probability must be in [0, 1)")
+        if history < 1:
+            raise ValueError("history must be positive")
+        self.reuse_probability = reuse_probability
+        self.history = history
+        self._recent: np.ndarray | None = None
+
+    def ids(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        out = np.empty(count, dtype=np.int64)
+        recent: list[int] = [] if self._recent is None else list(self._recent)
+        for i in range(count):
+            if recent and rng.random() < self.reuse_probability:
+                out[i] = recent[int(rng.integers(0, len(recent)))]
+            else:
+                out[i] = int(rng.integers(0, self.rows))
+            recent.append(int(out[i]))
+            if len(recent) > self.history:
+                recent.pop(0)
+        self._recent = np.asarray(recent[-self.history :], dtype=np.int64)
+        return out

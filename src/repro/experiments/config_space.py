@@ -1,0 +1,126 @@
+"""Figure 13 in action: exploring the benchmark's configuration space.
+
+The open-source benchmark exists so that researchers can sweep its
+parameters — number/size of embedding tables, lookups per table, MLP
+widths, batch — and watch the bottleneck move. This experiment performs
+three canonical sweeps around the RMC1 operating point on Broadwell and
+reports latency plus the dominant operator for each setting: growing the
+table count or lookups drives a model from FC-bound into SLS-bound
+territory (RMC1 → RMC2), while widening the Bottom-MLP drives it toward
+RMC3's compute-bound profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..analysis.tables import format_table
+from ..config.model_config import MLPConfig, ModelConfig, uniform_tables
+from ..config.presets import EMBEDDING_DIM, RMC1_SMALL
+from ..hw.server import BROADWELL, ServerSpec
+from ..hw.timing import TimingModel
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One configuration in a sweep."""
+
+    sweep: str
+    value: int
+    latency_ms: float
+    dominant_op: str
+    sls_share: float
+    fc_share: float
+
+
+@dataclass(frozen=True)
+class ConfigSpaceResult:
+    """All sweep points."""
+
+    points: list[SweepPoint]
+
+    def sweep(self, name: str) -> list[SweepPoint]:
+        """Points of one sweep, in sweep order."""
+        return [p for p in self.points if p.sweep == name]
+
+
+def _point(server: ServerSpec, sweep: str, value: int, config: ModelConfig,
+           batch: int) -> SweepPoint:
+    latency = TimingModel(server).model_latency(config, batch)
+    shares = latency.fraction_by_op_type()
+    dominant = max(shares, key=shares.get)
+    return SweepPoint(
+        sweep=sweep,
+        value=value,
+        latency_ms=latency.total_seconds * 1e3,
+        dominant_op=dominant,
+        sls_share=shares.get("SLS", 0.0),
+        fc_share=shares.get("FC", 0.0),
+    )
+
+
+def run(
+    server: ServerSpec = BROADWELL,
+    batch: int = 16,
+    table_counts: tuple[int, ...] = (1, 2, 4, 8, 16, 32),
+    lookup_counts: tuple[int, ...] = (10, 20, 40, 80, 160, 320),
+    bottom_widths: tuple[int, ...] = (128, 256, 512, 1024, 2048, 4096),
+) -> ConfigSpaceResult:
+    """Sweep table count, lookups/table and Bottom-MLP width around RMC1."""
+    base = RMC1_SMALL
+    points: list[SweepPoint] = []
+
+    for n in table_counts:
+        config = replace(
+            base,
+            name=f"tables-{n}",
+            embedding_tables=uniform_tables(n, 2_000_000, EMBEDDING_DIM, 80),
+        )
+        points.append(_point(server, "tables", n, config, batch))
+
+    for lookups in lookup_counts:
+        config = replace(
+            base,
+            name=f"lookups-{lookups}",
+            embedding_tables=uniform_tables(2, 2_000_000, EMBEDDING_DIM, lookups),
+        )
+        points.append(_point(server, "lookups", lookups, config, batch))
+
+    for width in bottom_widths:
+        config = replace(
+            base,
+            name=f"width-{width}",
+            bottom_mlp=MLPConfig([width, width // 2, 32]),
+        )
+        points.append(_point(server, "bottom_width", width, config, batch))
+
+    return ConfigSpaceResult(points=points)
+
+
+def render(result: ConfigSpaceResult) -> str:
+    """Text rendering of the three sweeps."""
+    sections = []
+    titles = {
+        "tables": "sweep: number of embedding tables (rows 2M, 80 lookups)",
+        "lookups": "sweep: lookups per table (2 tables, rows 2M)",
+        "bottom_width": "sweep: Bottom-MLP width (RMC1 tables)",
+    }
+    for sweep, title in titles.items():
+        rows = [
+            [
+                p.value,
+                f"{p.latency_ms:.3f}",
+                p.dominant_op,
+                f"{100 * p.sls_share:.0f}",
+                f"{100 * p.fc_share:.0f}",
+            ]
+            for p in result.sweep(sweep)
+        ]
+        sections.append(
+            format_table(
+                ["value", "latency ms", "dominant", "SLS %", "FC %"],
+                rows,
+                title=title,
+            )
+        )
+    return "\n\n".join(sections)

@@ -1,0 +1,47 @@
+"""Figure 1: share of AI inference cycles by recommendation model class.
+
+Paper: RMC1, RMC2 and RMC3 consume ~65% of AI inference cycles;
+recommendation models in total comprise over 79%; the rest is
+non-recommendation (CNNs, RNNs, other DNNs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.tables import format_bar_chart
+from ..serving.fleet import Fleet, production_fleet
+
+
+@dataclass(frozen=True)
+class Figure1Result:
+    """Cycle shares by model class."""
+
+    by_class: dict[str, float]
+    recommendation_share: float
+    rmc_core_share: float
+
+
+def run(fleet: Fleet | None = None) -> Figure1Result:
+    """Compute Figure 1 from the production fleet mix."""
+    fleet = fleet or production_fleet()
+    return Figure1Result(
+        by_class=fleet.cycles_by_model_class(),
+        recommendation_share=fleet.recommendation_share(),
+        rmc_core_share=fleet.rmc_core_share(),
+    )
+
+
+def render(result: Figure1Result) -> str:
+    """Text rendering of Figure 1."""
+    labels = list(result.by_class)
+    values = [100 * result.by_class[k] for k in labels]
+    chart = format_bar_chart(
+        labels, values, title="Figure 1: AI inference cycles by model class", unit="%"
+    )
+    footer = (
+        f"RMC1+RMC2+RMC3 = {100 * result.rmc_core_share:.0f}% "
+        f"(paper: 65%), all recommendation = "
+        f"{100 * result.recommendation_share:.0f}% (paper: >=79%)"
+    )
+    return f"{chart}\n{footer}"

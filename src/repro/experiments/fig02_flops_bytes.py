@@ -1,0 +1,53 @@
+"""Figure 2: compute (FLOPs) vs memory (bytes read) per inference.
+
+Paper: production recommendation models occupy a distinct region of the
+FLOPs/bytes plane — far more bytes per inference than MLPerf-NCF (orders of
+magnitude larger embedding work) and far lower compute density than CNNs,
+with RNNs in between.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.tables import format_table
+from ..config.model_config import ModelConfig
+from ..config.presets import NCF, RMC1_SMALL, RMC2_SMALL, RMC3_SMALL
+from ..core.workload_stats import WorkloadPoint, figure2_points
+
+
+@dataclass(frozen=True)
+class Figure2Result:
+    """The comparison set of workload points."""
+
+    points: list[WorkloadPoint]
+
+    def by_name(self) -> dict[str, WorkloadPoint]:
+        """Index the points by workload name."""
+        return {p.name: p for p in self.points}
+
+
+def run(configs: list[ModelConfig] | None = None) -> Figure2Result:
+    """Characterize the Figure-2 workload set (RMCs + NCF + CNN + RNN)."""
+    configs = configs or [RMC1_SMALL, RMC2_SMALL, RMC3_SMALL, NCF]
+    return Figure2Result(points=figure2_points(configs))
+
+
+def render(result: Figure2Result) -> str:
+    """Text rendering of Figure 2."""
+    rows = [
+        [
+            p.name,
+            p.category,
+            f"{p.flops / 1e6:.3f}",
+            f"{p.bytes_read / 1e6:.3f}",
+            f"{p.operational_intensity:.2f}",
+            f"{p.storage_bytes / 1e6:.1f}",
+        ]
+        for p in result.points
+    ]
+    return format_table(
+        ["workload", "category", "MFLOPs/inf", "MB read/inf", "FLOPs/B", "storage MB"],
+        rows,
+        title="Figure 2: per-inference compute and memory requirements",
+    )

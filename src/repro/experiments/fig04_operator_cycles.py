@@ -1,0 +1,53 @@
+"""Figure 4: data-center-wide cycle breakdown by operator.
+
+Paper: FC layers take the largest share; SparseLengthsSum alone is ~15% of
+all AI inference cycles — roughly 4x the Conv share and 20x the Recurrent
+share — and appears only in recommendation models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.tables import format_table
+from ..core.operators.base import ALL_OP_TYPES
+from ..serving.fleet import Fleet, production_fleet
+
+
+@dataclass(frozen=True)
+class Figure4Result:
+    """Operator cycle shares, split by recommendation vs non-rec services."""
+
+    recommendation: dict[str, float]
+    non_recommendation: dict[str, float]
+
+    @property
+    def total(self) -> dict[str, float]:
+        """Combined operator shares."""
+        out = dict(self.recommendation)
+        for key, value in self.non_recommendation.items():
+            out[key] = out.get(key, 0.0) + value
+        return out
+
+
+def run(fleet: Fleet | None = None) -> Figure4Result:
+    """Compute the Figure-4 breakdown from the production fleet."""
+    fleet = fleet or production_fleet()
+    return Figure4Result(
+        recommendation=fleet.cycles_by_operator(recommendation_only=True),
+        non_recommendation=fleet.cycles_by_operator(recommendation_only=False),
+    )
+
+
+def render(result: Figure4Result) -> str:
+    """Text rendering of Figure 4."""
+    rows = []
+    for op_type in ALL_OP_TYPES:
+        rec = 100 * result.recommendation.get(op_type, 0.0)
+        non = 100 * result.non_recommendation.get(op_type, 0.0)
+        rows.append([op_type, f"{rec:.1f}", f"{non:.1f}", f"{rec + non:.1f}"])
+    return format_table(
+        ["operator", "rec %", "non-rec %", "total %"],
+        rows,
+        title="Figure 4: data-center cycles by operator",
+    )

@@ -1,0 +1,69 @@
+"""Figure 7: single-model inference latency and operator breakdown.
+
+Paper, unit batch on Broadwell: RMC1 0.04 ms, RMC2 0.30 ms, RMC3 0.60 ms
+(15x spread); BatchMatMul+FC are >96% of RMC3 but only ~61% of RMC1 (which
+spends ~20% in SLS and ~6.5% in Concat), while SLS is ~80% of RMC2.
+A large RMC1 instance is ~2x slower than a small one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.tables import format_table
+from ..config.model_config import ModelConfig
+from ..config.presets import RMC1_LARGE, RMC1_SMALL, RMC2_SMALL, RMC3_SMALL
+from ..hw.server import BROADWELL, ServerSpec
+from ..hw.timing import ModelLatency, TimingModel
+
+
+@dataclass(frozen=True)
+class Figure7Result:
+    """Batch-1 latency + operator breakdown per model class."""
+
+    server_name: str
+    latencies: dict[str, ModelLatency]
+
+    def latency_ms(self, name: str) -> float:
+        """Total latency of one model in milliseconds."""
+        return self.latencies[name].total_seconds * 1e3
+
+    def breakdown(self, name: str) -> dict[str, float]:
+        """Operator time shares of one model."""
+        return self.latencies[name].fraction_by_op_type()
+
+
+def run(
+    server: ServerSpec = BROADWELL,
+    configs: list[ModelConfig] | None = None,
+    batch_size: int = 1,
+) -> Figure7Result:
+    """Predict single-model latency and breakdown at unit batch."""
+    configs = configs or [RMC1_SMALL, RMC1_LARGE, RMC2_SMALL, RMC3_SMALL]
+    timing = TimingModel(server)
+    return Figure7Result(
+        server_name=server.name,
+        latencies={c.name: timing.model_latency(c, batch_size) for c in configs},
+    )
+
+
+def render(result: Figure7Result) -> str:
+    """Text rendering of Figure 7."""
+    rows = []
+    for name, latency in result.latencies.items():
+        frac = latency.fraction_by_op_type()
+        rows.append(
+            [
+                name,
+                f"{latency.total_seconds * 1e3:.3f}",
+                f"{100 * frac.get('FC', 0):.1f}",
+                f"{100 * frac.get('SLS', 0):.1f}",
+                f"{100 * frac.get('Concat', 0):.1f}",
+                f"{100 * frac.get('Activation', 0):.1f}",
+            ]
+        )
+    return format_table(
+        ["model", "latency ms", "FC %", "SLS %", "Concat %", "Activ %"],
+        rows,
+        title=f"Figure 7: batch-1 latency and breakdown on {result.server_name}",
+    )

@@ -1,0 +1,113 @@
+"""Figure 9: per-model latency degradation under co-location (Broadwell).
+
+Paper, batch 32, N co-located instances of the same model: at N=8 latency
+degrades 1.3x (RMC1), 2.6x (RMC2) and 1.6x (RMC3). RMC2's degradation is
+driven by SLS (3x) and FC (1.6x); RMC1's SLS time share grows from ~15% to
+~35% while its FCs stay essentially unaffected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.tables import format_table
+from ..config.model_config import ModelConfig
+from ..config.presets import RMC1_SMALL, RMC2_SMALL, RMC3_SMALL
+from ..hw.server import BROADWELL, ServerSpec
+from ..hw.timing import ModelLatency, TimingModel
+
+DEFAULT_JOBS = (1, 2, 4, 8)
+
+
+@dataclass(frozen=True)
+class ColocationCell:
+    """Latency of one model at one co-location degree."""
+
+    model_name: str
+    num_jobs: int
+    latency: ModelLatency
+
+
+@dataclass(frozen=True)
+class Figure9Result:
+    """The co-location degradation grid."""
+
+    server_name: str
+    batch_size: int
+    cells: list[ColocationCell]
+
+    def latency(self, model: str, num_jobs: int) -> ModelLatency:
+        """The ModelLatency of one grid cell."""
+        for cell in self.cells:
+            if cell.model_name == model and cell.num_jobs == num_jobs:
+                return cell.latency
+        raise KeyError(f"no cell ({model}, {num_jobs})")
+
+    def degradation(self, model: str, num_jobs: int) -> float:
+        """Latency at ``num_jobs`` relative to running alone."""
+        return (
+            self.latency(model, num_jobs).total_seconds
+            / self.latency(model, 1).total_seconds
+        )
+
+    def op_degradation(self, model: str, num_jobs: int, op_type: str) -> float:
+        """Per-operator-type degradation relative to running alone."""
+        alone = self.latency(model, 1).seconds_by_op_type()[op_type]
+        loaded = self.latency(model, num_jobs).seconds_by_op_type()[op_type]
+        return loaded / alone
+
+    def sls_share(self, model: str, num_jobs: int) -> float:
+        """SLS share of total time at a co-location degree."""
+        return self.latency(model, num_jobs).fraction_by_op_type().get("SLS", 0.0)
+
+
+def run(
+    server: ServerSpec = BROADWELL,
+    configs: list[ModelConfig] | None = None,
+    batch_size: int = 32,
+    jobs: tuple[int, ...] = DEFAULT_JOBS,
+) -> Figure9Result:
+    """Sweep homogeneous co-location degree per model class."""
+    configs = configs or [RMC1_SMALL, RMC2_SMALL, RMC3_SMALL]
+    timing = TimingModel(server)
+    cells = []
+    for config in configs:
+        for n in jobs:
+            state = timing.colocation_state(config, batch_size, n)
+            cells.append(
+                ColocationCell(
+                    model_name=config.name,
+                    num_jobs=n,
+                    latency=timing.model_latency(config, batch_size, state),
+                )
+            )
+    return Figure9Result(server_name=server.name, batch_size=batch_size, cells=cells)
+
+
+def render(result: Figure9Result) -> str:
+    """Text rendering of Figure 9."""
+    models = sorted({c.model_name for c in result.cells})
+    jobs = sorted({c.num_jobs for c in result.cells})
+    rows = []
+    for model in models:
+        for n in jobs:
+            latency = result.latency(model, n)
+            frac = latency.fraction_by_op_type()
+            rows.append(
+                [
+                    model,
+                    n,
+                    f"{latency.total_seconds * 1e3:.2f}",
+                    f"{result.degradation(model, n):.2f}x",
+                    f"{100 * frac.get('FC', 0):.0f}",
+                    f"{100 * frac.get('SLS', 0):.0f}",
+                ]
+            )
+    return format_table(
+        ["model", "N", "latency ms", "vs alone", "FC %", "SLS %"],
+        rows,
+        title=(
+            f"Figure 9: co-location degradation on {result.server_name} "
+            f"(batch {result.batch_size})"
+        ),
+    )

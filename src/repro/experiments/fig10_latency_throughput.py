@@ -1,0 +1,92 @@
+"""Figure 10: latency/throughput tradeoff under co-location, per server.
+
+Paper, RMC2: starting from no co-location, latency degrades quickly then
+plateaus; Broadwell gives the lowest latency at low co-location, Skylake
+the highest throughput under high co-location; Skylake shows a sudden
+latency jump around 18 co-located jobs (LLC capacity overflow); Haswell
+trails throughout. Under a strict latency bound, Skylake maximizes
+latency-bounded throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.tables import format_table
+from ..config.model_config import ModelConfig
+from ..config.presets import RMC2_SMALL
+from ..hw.server import ALL_SERVERS, ServerSpec
+from ..serving.metrics import SLA, ThroughputPoint, latency_bounded_throughput
+from ..serving.scheduler import colocation_sweep
+
+
+@dataclass(frozen=True)
+class Figure10Result:
+    """Per-server latency/throughput frontiers."""
+
+    model_name: str
+    batch_size: int
+    sla: SLA
+    frontiers: dict[str, list[ThroughputPoint]]
+
+    def point(self, server: str, num_jobs: int) -> ThroughputPoint:
+        """One frontier point."""
+        for p in self.frontiers[server]:
+            if p.num_jobs == num_jobs:
+                return p
+        raise KeyError(f"no point ({server}, {num_jobs})")
+
+    def best(self, server: str) -> ThroughputPoint | None:
+        """Latency-bounded-throughput optimum for one server."""
+        return latency_bounded_throughput(self.frontiers[server])
+
+
+def run(
+    config: ModelConfig = RMC2_SMALL,
+    servers: tuple[ServerSpec, ...] = ALL_SERVERS,
+    batch_size: int = 32,
+    sla: SLA = SLA(deadline_s=0.450),
+    max_jobs: int = 24,
+) -> Figure10Result:
+    """Sweep the co-location frontier for each server generation."""
+    frontiers = {
+        server.name: colocation_sweep(server, config, batch_size, sla, max_jobs)
+        for server in servers
+    }
+    return Figure10Result(
+        model_name=config.name, batch_size=batch_size, sla=sla, frontiers=frontiers
+    )
+
+
+def render(result: Figure10Result) -> str:
+    """Table plus the latency-bounded-throughput optimum per server."""
+    servers = sorted(result.frontiers)
+    jobs = [p.num_jobs for p in result.frontiers[servers[0]]]
+    show = [n for n in jobs if n in (1, 2, 4, 8, 12, 16, 18, 20, 24)]
+    rows = []
+    for n in show:
+        row: list[object] = [n]
+        for server in servers:
+            p = result.point(server, n)
+            row.append(f"{p.latency_s * 1e3:.1f} / {p.items_per_s / 1e3:.1f}k")
+        rows.append(row)
+    table = format_table(
+        ["N"] + [f"{s} (ms / items/s)" for s in servers],
+        rows,
+        title=(
+            f"Figure 10: {result.model_name} latency/throughput frontier "
+            f"(batch {result.batch_size})"
+        ),
+    )
+    best_lines = []
+    for server in servers:
+        best = result.best(server)
+        if best is None:
+            best_lines.append(f"{server}: SLA infeasible")
+        else:
+            best_lines.append(
+                f"{server}: best {best.items_per_s / 1e3:.1f}k items/s "
+                f"at N={best.num_jobs}"
+            )
+    sla_ms = result.sla.deadline_s * 1e3
+    return f"{table}\nUnder SLA {sla_ms:.0f} ms: " + "; ".join(best_lines)

@@ -1,0 +1,106 @@
+"""Figure 12: production RMC models vs the MLPerf-NCF public benchmark.
+
+Paper: production models have orders-of-magnitude longer inference latency,
+larger embedding tables and more FC parameters than MLPerf-NCF; NCF spends
+>90% of its time in FC while batched RMC1/RMC2 spend ~80% in SLS — which is
+why NCF-derived insights do not transfer to production recommendation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.tables import format_table
+from ..config.model_config import ModelConfig
+from ..config.presets import NCF, RMC1_SMALL, RMC2_SMALL, RMC3_SMALL
+from ..hw.server import BROADWELL, ServerSpec
+from ..hw.timing import TimingModel
+
+
+@dataclass(frozen=True)
+class NcfComparisonRow:
+    """One model's Figure-12 metrics, normalized to NCF."""
+
+    name: str
+    latency_s: float
+    embedding_bytes: int
+    fc_parameters: int
+    latency_vs_ncf: float
+    embedding_vs_ncf: float
+    fc_params_vs_ncf: float
+    fc_time_share: float
+    sls_time_share: float
+
+
+@dataclass(frozen=True)
+class Figure12Result:
+    """The normalized comparison table."""
+
+    rows: list[NcfComparisonRow]
+
+    def by_name(self) -> dict[str, NcfComparisonRow]:
+        """Index rows by model name."""
+        return {r.name: r for r in self.rows}
+
+
+def run(
+    server: ServerSpec = BROADWELL,
+    configs: list[ModelConfig] | None = None,
+    batch_size: int = 16,
+) -> Figure12Result:
+    """Compare RMC presets against MLPerf-NCF, normalized to NCF."""
+    configs = configs or [NCF, RMC1_SMALL, RMC2_SMALL, RMC3_SMALL]
+    if not any(c.model_class == "NCF" for c in configs):
+        raise ValueError("comparison set must include an NCF config")
+    timing = TimingModel(server)
+
+    metrics = {}
+    for config in configs:
+        latency = timing.model_latency(config, batch_size)
+        frac = latency.fraction_by_op_type()
+        metrics[config.name] = (
+            latency.total_seconds,
+            config.embedding_storage_bytes(),
+            config.mlp_parameter_count(),
+            frac.get("FC", 0.0),
+            frac.get("SLS", 0.0),
+        )
+    ncf_name = next(c.name for c in configs if c.model_class == "NCF")
+    ncf = metrics[ncf_name]
+    rows = [
+        NcfComparisonRow(
+            name=name,
+            latency_s=m[0],
+            embedding_bytes=m[1],
+            fc_parameters=m[2],
+            latency_vs_ncf=m[0] / ncf[0],
+            embedding_vs_ncf=m[1] / ncf[1],
+            fc_params_vs_ncf=m[2] / ncf[2],
+            fc_time_share=m[3],
+            sls_time_share=m[4],
+        )
+        for name, m in metrics.items()
+    ]
+    return Figure12Result(rows=rows)
+
+
+def render(result: Figure12Result) -> str:
+    """Text rendering of Figure 12."""
+    rows = [
+        [
+            r.name,
+            f"{r.latency_s * 1e3:.3f}",
+            f"{r.latency_vs_ncf:.1f}x",
+            f"{r.embedding_vs_ncf:.1f}x",
+            f"{r.fc_params_vs_ncf:.1f}x",
+            f"{100 * r.fc_time_share:.0f}",
+            f"{100 * r.sls_time_share:.0f}",
+        ]
+        for r in result.rows
+    ]
+    return format_table(
+        ["model", "latency ms", "vs NCF", "emb vs NCF", "FC params vs NCF",
+         "FC %", "SLS %"],
+        rows,
+        title="Figure 12: production models vs MLPerf-NCF (batch 16)",
+    )

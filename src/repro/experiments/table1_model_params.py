@@ -1,0 +1,55 @@
+"""Table I: normalized architecture parameters of RMC1/RMC2/RMC3.
+
+Paper normalization: Bottom/Top FC widths to RMC1's layer 3; table count,
+input dim (rows) and output dim to RMC1; lookups per table to RMC3. RMC1
+is small in both FCs and tables, RMC2 has ~10x the tables
+(memory-intensive), RMC3 has ~10x wider FCs (compute-intensive).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.tables import format_table
+from ..config.model_config import ModelConfig
+from ..config.normalization import NormalizedModelParams, normalize_table1
+from ..config.presets import RMC1_SMALL, RMC2_SMALL, RMC3_SMALL
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """Normalized Table-I rows."""
+
+    rows: list[NormalizedModelParams]
+
+    def by_class(self) -> dict[str, NormalizedModelParams]:
+        """Index rows by model class."""
+        return {r.model_class: r for r in self.rows}
+
+
+def run(configs: list[ModelConfig] | None = None) -> Table1Result:
+    """Compute the normalized Table I from the presets."""
+    configs = configs or [RMC1_SMALL, RMC2_SMALL, RMC3_SMALL]
+    return Table1Result(rows=normalize_table1(configs))
+
+
+def render(result: Table1Result) -> str:
+    """Text rendering of Table I."""
+    rows = []
+    for r in result.rows:
+        rows.append(
+            [
+                r.name,
+                "-".join(f"{x:.2g}x" for x in r.bottom_fc),
+                "-".join(f"{x:.2g}x" for x in r.top_fc),
+                f"{r.num_tables:.2g}x",
+                f"{r.table_rows:.2g}x",
+                f"{r.table_dim:.2g}x",
+                f"{r.lookups:.2g}x",
+            ]
+        )
+    return format_table(
+        ["model", "bottom FC", "top FC", "tables", "rows", "dim", "lookups"],
+        rows,
+        title="Table I: normalized model-architecture parameters",
+    )

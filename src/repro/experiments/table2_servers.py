@@ -1,0 +1,44 @@
+"""Table II: the server generations present in the data center."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.tables import format_table
+from ..hw.server import ALL_SERVERS, ServerSpec
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """The server specification set."""
+
+    servers: tuple[ServerSpec, ...]
+
+
+def run(servers: tuple[ServerSpec, ...] = ALL_SERVERS) -> Table2Result:
+    """Collect the Table-II server specs."""
+    return Table2Result(servers=servers)
+
+
+def render(result: Table2Result) -> str:
+    """Text rendering of Table II."""
+    rows = []
+    for s in result.servers:
+        rows.append(
+            [
+                s.name,
+                f"{s.frequency_ghz} GHz",
+                f"{s.cores_per_socket}x{s.sockets}",
+                s.simd.name,
+                f"{s.l2_bytes // 1024} KB",
+                f"{s.l3_bytes / (1024 * 1024):.1f} MB",
+                "incl" if s.inclusive_llc else "excl",
+                f"{s.ddr_type}-{s.ddr_freq_mhz}",
+                f"{s.dram_bw_bytes_per_s / 1e9:.0f} GB/s",
+            ]
+        )
+    return format_table(
+        ["server", "freq", "cores", "SIMD", "L2", "L3", "L2/L3", "DDR", "BW"],
+        rows,
+        title="Table II: data-center server architectures",
+    )

@@ -1,0 +1,136 @@
+"""What-if study: future memory systems for embedding-dominated models.
+
+The paper concludes that "a combination of aggressive compression and
+novel memory technologies are needed" for recommendation. This experiment
+asks the forward-looking question its characterization enables: how much
+does each plausible next-generation memory lever buy on RMC2?
+
+Levers (applied to a Broadwell-class core so only the memory system moves):
+
+* HBM-class bandwidth — 4x peak DRAM bandwidth, same latency;
+* low-latency memory — 2x lower random-access latency, same bandwidth;
+* both (an idealized on-package stack);
+* int8 embeddings on the baseline memory (the compression lever).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+
+from ..analysis.tables import format_table
+from ..config.model_config import ModelConfig
+from ..config.presets import RMC2_SMALL
+from ..hw.server import BROADWELL, ServerSpec
+from ..hw.timing import TimingModel
+
+
+@dataclass(frozen=True)
+class WhatIfRow:
+    """One memory-system variant's outcome, alone and co-located."""
+
+    variant: str
+    latency_s: float
+    speedup: float
+    sls_share: float
+    colocated_latency_s: float
+    colocated_speedup: float
+
+
+@dataclass(frozen=True)
+class WhatIfResult:
+    """All variants, baseline first."""
+
+    model_name: str
+    batch_size: int
+    colocated_jobs: int
+    rows: list[WhatIfRow]
+
+    def by_variant(self) -> dict[str, WhatIfRow]:
+        """Index rows by variant name."""
+        return {r.variant: r for r in self.rows}
+
+
+def run(
+    config: ModelConfig = RMC2_SMALL,
+    base: ServerSpec = BROADWELL,
+    batch_size: int = 32,
+    colocated_jobs: int = 12,
+) -> WhatIfResult:
+    """Evaluate the memory-lever variants on one model.
+
+    Each variant is measured running alone (latency-bound regime, where
+    lower access latency is the lever that pays) and under co-location
+    (bandwidth-bound regime, where the HBM-class lever takes over).
+    """
+    hbm = dc_replace(
+        base, name="Broadwell+HBM", dram_bw_bytes_per_s=base.dram_bw_bytes_per_s * 4
+    )
+    low_lat = dc_replace(
+        base, name="Broadwell+LL", dram_random_ns=base.dram_random_ns / 2
+    )
+    both = dc_replace(
+        base,
+        name="Broadwell+HBM+LL",
+        dram_bw_bytes_per_s=base.dram_bw_bytes_per_s * 4,
+        dram_random_ns=base.dram_random_ns / 2,
+    )
+    int8_config = dc_replace(config, dtype="int8")
+
+    variants: list[tuple[str, ServerSpec, ModelConfig]] = [
+        ("baseline", base, config),
+        ("4x bandwidth (HBM-class)", hbm, config),
+        ("2x lower latency", low_lat, config),
+        ("both", both, config),
+        ("int8 embeddings", base, int8_config),
+    ]
+    baseline_alone = None
+    baseline_packed = None
+    rows = []
+    for name, server, cfg in variants:
+        timing = TimingModel(server)
+        alone = timing.model_latency(cfg, batch_size)
+        state = timing.colocation_state(cfg, batch_size, colocated_jobs)
+        packed = timing.model_latency(cfg, batch_size, state)
+        if baseline_alone is None:
+            baseline_alone = alone.total_seconds
+            baseline_packed = packed.total_seconds
+        rows.append(
+            WhatIfRow(
+                variant=name,
+                latency_s=alone.total_seconds,
+                speedup=baseline_alone / alone.total_seconds,
+                sls_share=alone.fraction_by_op_type().get("SLS", 0.0),
+                colocated_latency_s=packed.total_seconds,
+                colocated_speedup=baseline_packed / packed.total_seconds,
+            )
+        )
+    return WhatIfResult(
+        model_name=config.name,
+        batch_size=batch_size,
+        colocated_jobs=colocated_jobs,
+        rows=rows,
+    )
+
+
+def render(result: WhatIfResult) -> str:
+    """Text rendering of the what-if table."""
+    rows = [
+        [
+            r.variant,
+            f"{r.latency_s * 1e3:.2f}",
+            f"{r.speedup:.2f}x",
+            f"{r.colocated_latency_s * 1e3:.2f}",
+            f"{r.colocated_speedup:.2f}x",
+        ]
+        for r in result.rows
+    ]
+    return format_table(
+        ["memory system", "alone ms", "speedup",
+         f"N={result.colocated_jobs} ms", "speedup"],
+        rows,
+        title=(
+            f"What-if: future memory for {result.model_name} "
+            f"(batch {result.batch_size}; alone = latency-bound, "
+            f"co-located = bandwidth-bound)"
+        ),
+    )

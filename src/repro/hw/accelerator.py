@@ -1,0 +1,107 @@
+"""FC-accelerator Amdahl analysis (Takeaway 2 / Section V).
+
+A central argument of the paper: existing DNN accelerators target matrix
+multiplication, but "software and hardware acceleration of matrix
+multiplication operations alone will provide limited benefits on
+end-to-end performance" because the FC share of recommendation models
+ranges from ~30% (RMC1 at batch) to ~95% (RMC3). This module quantifies
+that claim: offload FC/BatchMatMul to an accelerator with a given speedup
+and per-offload overhead, and compute the end-to-end gain per model class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config.model_config import ModelConfig
+from ..core.operators.base import OP_BATCH_MATMUL, OP_FC
+from .server import ServerSpec
+from .timing import TimingModel
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """A standalone FC/matmul accelerator attached to the server.
+
+    Attributes:
+        fc_speedup: factor by which FC/BatchMM operator time shrinks.
+        offload_overhead_s: per-offloaded-operator transfer/launch cost.
+    """
+
+    fc_speedup: float = 10.0
+    offload_overhead_s: float = 2e-6
+
+    def __post_init__(self) -> None:
+        if self.fc_speedup < 1.0:
+            raise ValueError("fc_speedup must be >= 1")
+        if self.offload_overhead_s < 0:
+            raise ValueError("offload overhead must be non-negative")
+
+
+@dataclass(frozen=True)
+class AccelerationResult:
+    """End-to-end effect of FC acceleration on one model."""
+
+    model_name: str
+    server_name: str
+    batch_size: int
+    fc_speedup: float
+    baseline_seconds: float
+    accelerated_seconds: float
+    fc_share: float
+
+    @property
+    def end_to_end_speedup(self) -> float:
+        """Total-latency improvement factor."""
+        return self.baseline_seconds / self.accelerated_seconds
+
+    @property
+    def amdahl_limit(self) -> float:
+        """Speedup with an infinitely fast FC engine (1 / (1 - fc_share))."""
+        return 1.0 / max(1e-9, 1.0 - self.fc_share)
+
+
+def accelerate_fc(
+    server: ServerSpec,
+    config: ModelConfig,
+    batch_size: int,
+    accelerator: AcceleratorConfig = AcceleratorConfig(),
+) -> AccelerationResult:
+    """Predict end-to-end latency with FC/BatchMM offloaded."""
+    latency = TimingModel(server).model_latency(config, batch_size)
+    baseline = latency.total_seconds
+    accelerated = 0.0
+    fc_seconds = 0.0
+    for op in latency.per_op:
+        if op.op_type in (OP_FC, OP_BATCH_MATMUL):
+            fc_seconds += op.seconds
+            accelerated += (
+                op.seconds / accelerator.fc_speedup + accelerator.offload_overhead_s
+            )
+        else:
+            accelerated += op.seconds
+    return AccelerationResult(
+        model_name=config.name,
+        server_name=server.name,
+        batch_size=batch_size,
+        fc_speedup=accelerator.fc_speedup,
+        baseline_seconds=baseline,
+        accelerated_seconds=accelerated,
+        fc_share=fc_seconds / baseline,
+    )
+
+
+def speedup_sweep(
+    server: ServerSpec,
+    configs: list[ModelConfig],
+    batch_size: int,
+    fc_speedups: list[float],
+) -> dict[str, list[AccelerationResult]]:
+    """End-to-end speedups across accelerator strengths per model class."""
+    out: dict[str, list[AccelerationResult]] = {}
+    for config in configs:
+        out[config.name] = [
+            accelerate_fc(server, config, batch_size, AcceleratorConfig(fc_speedup=s))
+            for s in fc_speedups
+        ]
+    return out

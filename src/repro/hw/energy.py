@@ -1,0 +1,105 @@
+"""Server energy model: power, energy per inference, efficiency.
+
+An architectural-implications companion to the latency analysis: the three
+generations differ not only in speed but in energy per ranked item. The
+model uses published TDP-class figures plus activity-dependent DRAM power,
+splitting an inference's energy into core-compute and DRAM components so
+the embedding-dominated and compute-dominated classes separate the same
+way they do for latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config.model_config import ModelConfig
+from .server import BROADWELL, HASWELL, SKYLAKE, ServerSpec
+from .timing import ModelLatency, TimingModel
+
+#: Active power per busy core (watts), by generation: newer processes are
+#: denser but wider; AVX-512 raises Skylake's active draw.
+CORE_ACTIVE_W = {"Haswell": 7.5, "Broadwell": 6.5, "Skylake": 8.5}
+
+#: Idle (uncore+leakage) power attributed per core (watts).
+CORE_IDLE_W = {"Haswell": 2.5, "Broadwell": 2.0, "Skylake": 2.2}
+
+#: DRAM energy per byte actually moved (pJ/byte): DDR3 is least efficient.
+DRAM_PJ_PER_BYTE = {"DDR3": 70.0, "DDR4": 40.0}
+
+#: DRAM background power per socket (watts).
+DRAM_BACKGROUND_W = 15.0
+
+
+@dataclass(frozen=True)
+class EnergyEstimate:
+    """Energy accounting for one inference."""
+
+    model_name: str
+    server_name: str
+    batch_size: int
+    core_joules: float
+    dram_joules: float
+    latency_s: float
+
+    @property
+    def total_joules(self) -> float:
+        """Total energy for the inference."""
+        return self.core_joules + self.dram_joules
+
+    @property
+    def joules_per_item(self) -> float:
+        """Energy per ranked user-post pair."""
+        return self.total_joules / self.batch_size
+
+    @property
+    def items_per_joule(self) -> float:
+        """Energy efficiency (higher is better)."""
+        return self.batch_size / self.total_joules
+
+
+def _dram_bytes(latency: ModelLatency, config: ModelConfig) -> float:
+    """Bytes that actually cross the DRAM bus during one inference."""
+    batch = latency.batch_size
+    # Embedding gathers dominated by misses; FC weights stream once when
+    # DRAM-resident (approximated by their memory_seconds share).
+    sls_bytes = sum(
+        batch * t.lookups_per_sample * max(64, t.dim * 4)
+        for t in config.embedding_tables
+    )
+    return float(sls_bytes)
+
+
+def inference_energy(
+    server: ServerSpec,
+    config: ModelConfig,
+    batch_size: int,
+) -> EnergyEstimate:
+    """Predict the energy of one inference on one core of ``server``."""
+    if server.name not in CORE_ACTIVE_W:
+        raise KeyError(f"no power model for server {server.name!r}")
+    latency = TimingModel(server).model_latency(config, batch_size)
+    seconds = latency.total_seconds
+    core_w = CORE_ACTIVE_W[server.name] + CORE_IDLE_W[server.name]
+    dram_share_w = DRAM_BACKGROUND_W / server.cores_per_socket
+    core_joules = (core_w + dram_share_w) * seconds
+    hit = TimingModel(server).table_hit_ratio(config.embedding_storage_bytes())
+    moved = _dram_bytes(latency, config) * (1.0 - hit)
+    dram_joules = moved * DRAM_PJ_PER_BYTE[server.ddr_type] * 1e-12
+    return EnergyEstimate(
+        model_name=config.name,
+        server_name=server.name,
+        batch_size=batch_size,
+        core_joules=core_joules,
+        dram_joules=dram_joules,
+        latency_s=seconds,
+    )
+
+
+def efficiency_comparison(
+    config: ModelConfig, batch_size: int
+) -> dict[str, EnergyEstimate]:
+    """Energy estimates across the three Table-II generations."""
+    return {
+        server.name: inference_energy(server, config, batch_size)
+        for server in (HASWELL, BROADWELL, SKYLAKE)
+    }

@@ -1,0 +1,200 @@
+"""Multi-level cache hierarchies: inclusive vs non-inclusive/exclusive.
+
+The paper's key micro-architectural contrast (Takeaway 7): Haswell and
+Broadwell implement an *inclusive* L2/L3 — every L2 line is also in L3, so
+an L3 eviction back-invalidates the victim's L2 copy. Under the irregular
+access streams of co-located recommendation models, this back-invalidation
+inflates L2 miss rates (+29% on Broadwell at 16 co-located jobs vs +9% on
+Skylake) and produces the multi-modal tail latencies of Figure 11. Skylake's
+L2/L3 is non-inclusive (L3 acts as a victim cache), so LLC churn does not
+reach into L2.
+
+:class:`CacheHierarchy` simulates an L1/L2/L3 stack with either policy and
+returns per-level hit counts for an address trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.operators.base import MemoryAccess
+from .cache import SetAssociativeCache
+from .server import ServerSpec
+
+
+@dataclass
+class HierarchyStats:
+    """Per-level hits plus DRAM fills for a simulated trace."""
+
+    l1_hits: int = 0
+    l2_hits: int = 0
+    l3_hits: int = 0
+    dram_accesses: int = 0
+    l2_back_invalidations: int = 0
+    prefetches_issued: int = 0
+    prefetch_hits: int = 0
+
+    @property
+    def prefetch_accuracy(self) -> float:
+        """Fraction of issued prefetches whose line was later used."""
+        if self.prefetches_issued == 0:
+            return 0.0
+        return self.prefetch_hits / self.prefetches_issued
+
+    @property
+    def total_line_accesses(self) -> int:
+        """Total cache-line lookups issued."""
+        return self.l1_hits + self.l2_hits + self.l3_hits + self.dram_accesses
+
+    def llc_mpki(self, instructions: int) -> float:
+        """LLC misses per kilo-instruction, the Figure-5 metric."""
+        if instructions <= 0:
+            raise ValueError("instructions must be positive")
+        return 1000.0 * self.dram_accesses / instructions
+
+    def l2_miss_ratio(self) -> float:
+        """L2 misses / L2 accesses."""
+        l2_accesses = self.l2_hits + self.l3_hits + self.dram_accesses
+        if l2_accesses == 0:
+            return 0.0
+        return (self.l3_hits + self.dram_accesses) / l2_accesses
+
+
+class CacheHierarchy:
+    """An L1 + L2 + shared-L3 stack with a configurable inclusion policy.
+
+    Args:
+        server: provides capacities and the inclusion policy.
+        l3_share: fraction of the shared LLC available to this context
+            (co-located jobs shrink each other's effective share).
+        line_bytes: cache-line size.
+        prefetch_degree: next-line stream prefetcher: on every demand miss
+            to line L, lines L+1..L+degree are fetched into the L2. Helps
+            streaming operators (FC weight reads); barely helps — and can
+            pollute — under SLS's irregular row gathers, the effect the
+            paper notes as "prefetching pollution". 0 disables.
+    """
+
+    def __init__(
+        self,
+        server: ServerSpec,
+        l3_share: float = 1.0,
+        line_bytes: int = 64,
+        prefetch_degree: int = 0,
+    ) -> None:
+        if not 0.0 < l3_share <= 1.0:
+            raise ValueError("l3_share must be in (0, 1]")
+        if prefetch_degree < 0:
+            raise ValueError("prefetch_degree must be non-negative")
+        self.server = server
+        self.inclusive = server.inclusive_llc
+        self.prefetch_degree = prefetch_degree
+        self._prefetched_lines: set[int] = set()
+        self.l1 = SetAssociativeCache("L1", server.l1_bytes, 8, line_bytes)
+        self.l2 = SetAssociativeCache("L2", server.l2_bytes, 8, line_bytes)
+        l3_bytes = int(server.l3_bytes * l3_share)
+        # Keep the L3 well-formed at tiny shares.
+        l3_bytes = max(l3_bytes - l3_bytes % (16 * line_bytes), 16 * line_bytes)
+        self.l3 = SetAssociativeCache("L3", l3_bytes, 16, line_bytes)
+        self.stats = HierarchyStats()
+
+    # ------------------------------------------------------------- accesses
+
+    def access(self, access: MemoryAccess) -> None:
+        """Simulate one logical access (all lines it spans)."""
+        for line in self.l1.lines_spanned(access.address, access.size):
+            self._access_line(line)
+
+    def access_trace(self, trace) -> HierarchyStats:
+        """Simulate an iterable of :class:`MemoryAccess`; returns stats."""
+        for item in trace:
+            self.access(item)
+        return self.stats
+
+    def _access_line(self, line: int) -> None:
+        if line in self._prefetched_lines:
+            self._prefetched_lines.discard(line)
+            self.stats.prefetch_hits += 1
+        if self.l1.touch(line):
+            self.stats.l1_hits += 1
+            return
+        if self.l2.touch(line):
+            self.stats.l2_hits += 1
+            self._fill_l1(line)
+            return
+        if self.l3.touch(line):
+            self.stats.l3_hits += 1
+            if not self.inclusive:
+                # Non-inclusive victim L3: the line moves up to L2.
+                self.l3.invalidate(line)
+                self.l3.stats.invalidations -= 1  # not a coherence event
+            self._fill_l2(line)
+            self._fill_l1(line)
+            return
+        # DRAM fill.
+        self.stats.dram_accesses += 1
+        if self.inclusive:
+            self._insert_l3_inclusive(line)
+        self._fill_l2(line)
+        self._fill_l1(line)
+        self._issue_prefetches(line)
+
+    def _issue_prefetches(self, miss_line: int) -> None:
+        """Next-line stream prefetch into the L2 on a demand miss."""
+        for offset in range(1, self.prefetch_degree + 1):
+            line = miss_line + offset
+            if self.l1.probe(line) or self.l2.probe(line):
+                continue
+            self.stats.prefetches_issued += 1
+            self._prefetched_lines.add(line)
+            if self.inclusive:
+                self._insert_l3_inclusive(line)
+            self._fill_l2(line)
+
+    # ---------------------------------------------------------------- fills
+
+    def _fill_l1(self, line: int) -> None:
+        self.l1.insert(line)
+
+    def _fill_l2(self, line: int) -> None:
+        victim = self.l2.insert(line)
+        if victim is not None and not self.inclusive:
+            # Exclusive-style hierarchy: L2 victims are caught by the L3.
+            self._insert_l3_victim(victim)
+
+    def _insert_l3_inclusive(self, line: int) -> None:
+        victim = self.l3.insert(line)
+        if victim is not None:
+            # Inclusion forces the victim out of the inner levels too.
+            if self.l2.invalidate(victim):
+                self.stats.l2_back_invalidations += 1
+            self.l1.invalidate(victim)
+
+    def _insert_l3_victim(self, line: int) -> None:
+        self.l3.insert(line)
+
+    # ------------------------------------------------------------ utilities
+
+    def external_llc_pressure(self, evict_lines: int, seed_stride: int = 9973) -> None:
+        """Model co-runner LLC churn: insert foreign lines into the L3.
+
+        Each foreign line occupies LLC capacity; in an inclusive hierarchy
+        the resulting evictions back-invalidate this context's L2/L1 lines —
+        the mechanism behind Broadwell's co-location latency degradation.
+        Foreign lines use negative line indices so they never alias the
+        workload's own lines.
+        """
+        for i in range(evict_lines):
+            foreign = -(1 + i * seed_stride)
+            if self.inclusive:
+                self._insert_l3_inclusive(foreign)
+            else:
+                self._insert_l3_victim(foreign)
+
+    def reset_stats(self) -> HierarchyStats:
+        """Return accumulated stats and start fresh (contents kept)."""
+        finished = self.stats
+        self.stats = HierarchyStats()
+        for level in (self.l1, self.l2, self.l3):
+            level.reset_stats()
+        return finished

@@ -1,0 +1,102 @@
+"""Dual-socket NUMA effects on embedding placement.
+
+Every Table-II machine has two sockets; a 10 GB RMC2 model's tables do not
+fit one socket's locality domain comfortably once co-located jobs pile up,
+so table placement matters: a remote-socket row gather crosses the
+inter-socket link (QPI/UPI), adding latency and consuming link bandwidth.
+
+Three placements are modelled:
+
+* ``local`` — all tables on the core's socket (best, needs the capacity);
+* ``remote`` — all tables on the other socket (worst case);
+* ``interleave`` — rows striped across both (half the gathers remote, but
+  both memory controllers share the load — the OS default for big tables).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config.model_config import ModelConfig
+from .server import ServerSpec
+from .timing import TimingModel
+
+PLACEMENTS = ("local", "remote", "interleave")
+
+#: Extra exposed latency of a remote-socket row gather, as a multiple of
+#: the local DRAM service time (UPI hop + remote controller queue).
+REMOTE_ACCESS_FACTOR = 1.6
+
+#: Bandwidth relief of interleaving: both controllers serve the stream.
+INTERLEAVE_BANDWIDTH_BONUS = 1.3
+
+
+@dataclass(frozen=True)
+class NumaLatency:
+    """Predicted model latency under one NUMA placement."""
+
+    model_name: str
+    server_name: str
+    placement: str
+    batch_size: int
+    total_seconds: float
+    sls_seconds: float
+
+    @property
+    def remote_fraction(self) -> float:
+        """Fraction of gathers that cross the socket link."""
+        return {"local": 0.0, "remote": 1.0, "interleave": 0.5}[self.placement]
+
+
+def numa_latency(
+    server: ServerSpec,
+    config: ModelConfig,
+    batch_size: int,
+    placement: str = "local",
+) -> NumaLatency:
+    """Predict inference latency for a given table placement.
+
+    The remote penalty applies to the DRAM-missing fraction of SLS time;
+    interleaving additionally relieves bandwidth pressure at high batch by
+    engaging both controllers.
+    """
+    if placement not in PLACEMENTS:
+        raise ValueError(f"unknown placement {placement!r}; valid: {PLACEMENTS}")
+    timing = TimingModel(server)
+    latency = timing.model_latency(config, batch_size)
+    hit = timing.table_hit_ratio(config.embedding_storage_bytes())
+
+    remote_fraction = {"local": 0.0, "remote": 1.0, "interleave": 0.5}[placement]
+    penalty = 1.0 + remote_fraction * (REMOTE_ACCESS_FACTOR - 1.0)
+    if placement == "interleave":
+        penalty /= INTERLEAVE_BANDWIDTH_BONUS ** min(1.0, batch_size / 64)
+
+    total = 0.0
+    sls_seconds = 0.0
+    for op in latency.per_op:
+        if op.op_type == "SLS":
+            # Only the DRAM-missing share of SLS crosses the link.
+            miss_share = 1.0 - hit
+            adjusted = op.seconds * (1.0 + miss_share * (penalty - 1.0))
+            sls_seconds += adjusted
+            total += adjusted
+        else:
+            total += op.seconds
+    return NumaLatency(
+        model_name=config.name,
+        server_name=server.name,
+        placement=placement,
+        batch_size=batch_size,
+        total_seconds=total,
+        sls_seconds=sls_seconds,
+    )
+
+
+def placement_comparison(
+    server: ServerSpec, config: ModelConfig, batch_size: int
+) -> dict[str, NumaLatency]:
+    """All three placements for one (server, model, batch)."""
+    return {
+        placement: numa_latency(server, config, batch_size, placement)
+        for placement in PLACEMENTS
+    }

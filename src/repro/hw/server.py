@@ -1,0 +1,209 @@
+"""Server architecture specifications (the paper's Table II).
+
+Data centers run inference on a heterogeneous set of dual-socket Intel
+servers; the paper studies Haswell, Broadwell and Skylake. The parameters
+that drive every result in Sections V-VI are captured here: operating
+frequency, core count, SIMD generation, cache sizes, the L2/L3 inclusion
+policy, and DRAM generation/bandwidth.
+
+Calibration fields (documented in DESIGN.md §5) encode per-generation
+behaviour the paper measures but Table II does not list directly — e.g.
+per-lookup SLS core cycles and effective random-access DRAM service time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+
+@dataclass(frozen=True)
+class SimdSpec:
+    """A SIMD instruction-set generation.
+
+    Attributes:
+        name: ISA label ("AVX-2", "AVX-512").
+        lanes_fp32: vector lanes of fp32.
+        fma_ports: FMA execution ports per core.
+    """
+
+    name: str
+    lanes_fp32: int
+    fma_ports: int
+
+    @property
+    def peak_flops_per_cycle(self) -> int:
+        """fp32 FLOPs/cycle/core: lanes x ports x 2 (multiply+add)."""
+        return self.lanes_fp32 * self.fma_ports * 2
+
+
+AVX2 = SimdSpec(name="AVX-2", lanes_fp32=8, fma_ports=2)
+AVX512 = SimdSpec(name="AVX-512", lanes_fp32=16, fma_ports=2)
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """One server generation (a row of the paper's Table II).
+
+    Attributes:
+        name: generation name.
+        frequency_ghz: core clock (turbo disabled, as in the paper).
+        cores_per_socket / sockets: physical core topology.
+        simd: SIMD generation.
+        l1_bytes / l2_bytes / l3_bytes: per-core L1 and L2, shared L3
+            (per socket).
+        inclusive_llc: True for Haswell/Broadwell's inclusive L2/L3,
+            False for Skylake's non-inclusive (victim) hierarchy.
+        dram_capacity_bytes: installed DRAM.
+        ddr_type / ddr_freq_mhz: DRAM generation.
+        dram_bw_bytes_per_s: peak DRAM bandwidth per socket.
+        sls_cycles_per_lookup: batch -> core-side cycles to issue one
+            embedding row gather + accumulate (address generation, loop
+            overhead), log-interpolated. Cycles amortize with batch as the
+            gather loop pipelines and prefetches across independent samples.
+        sls_mlp: batch -> memory-level parallelism (overlapped outstanding
+            misses) for DRAM row gathers. Skylake's AVX-512 gather path
+            amortizes later (the paper's "sub-optimal throughput due to
+            irregular memory access patterns").
+        llc_latency_cycles: load-to-use latency of the shared LLC (Skylake's
+            mesh interconnect is slower than the ring of Haswell/Broadwell).
+        dram_random_ns: exposed DRAM service time per random row access at
+            unit batch running alone, after out-of-order overlap (slowest on
+            Haswell's DDR3). Calibrated so Broadwell's batch-1 per-lookup
+            SLS cost lands at ~130 ns (RMC2 batch-1 latency anchor).
+        fc_utilization: batch -> fraction-of-peak anchors for dense GEMM,
+            log-interpolated (see :mod:`repro.hw.simd`); encodes both SIMD
+            fill behaviour and generation-specific GEMM efficiency.
+    """
+
+    name: str
+    frequency_ghz: float
+    cores_per_socket: int
+    sockets: int
+    simd: SimdSpec
+    l1_bytes: int
+    l2_bytes: int
+    l3_bytes: int
+    inclusive_llc: bool
+    dram_capacity_bytes: int
+    ddr_type: str
+    ddr_freq_mhz: int
+    dram_bw_bytes_per_s: float
+    sls_cycles_per_lookup: tuple[tuple[float, float], ...]
+    sls_mlp: tuple[tuple[float, float], ...]
+    llc_latency_cycles: int
+    dram_random_ns: float
+    fc_utilization: tuple[tuple[float, float], ...]
+
+    @property
+    def total_cores(self) -> int:
+        """Physical cores across both sockets."""
+        return self.cores_per_socket * self.sockets
+
+    @property
+    def peak_gflops_per_core(self) -> float:
+        """Single-core fp32 peak in GFLOP/s."""
+        return self.frequency_ghz * self.simd.peak_flops_per_cycle
+
+    @property
+    def cycle_ns(self) -> float:
+        """Nanoseconds per core cycle."""
+        return 1.0 / self.frequency_ghz
+
+
+#: Core-side gather/accumulate cycles per lookup vs batch (shared shape; the
+#: loop pipelines across independent samples as batch grows).
+_SLS_CYCLES_AVX2 = ((1, 120), (4, 40), (16, 12), (64, 6), (128, 4), (256, 3))
+_SLS_CYCLES_AVX512 = ((1, 120), (4, 40), (16, 12), (64, 6), (128, 4), (256, 3))
+
+#: Memory-level parallelism of DRAM row gathers vs batch. The ring-based
+#: Haswell/Broadwell uncore overlaps misses aggressively with batching; the
+#: Skylake mesh + AVX-512 gather path ramps later, which is why Skylake's
+#: SLS throughput trails Broadwell until batch ~128 (Figure 8).
+_SLS_MLP_RING = ((1, 3.0), (16, 6.0), (32, 6.7), (64, 8.0), (128, 10.0), (256, 12.0))
+_SLS_MLP_MESH = ((1, 3.0), (16, 4.2), (32, 4.8), (64, 6.5), (128, 10.0), (256, 13.0))
+
+
+HASWELL = ServerSpec(
+    name="Haswell",
+    frequency_ghz=2.5,
+    cores_per_socket=12,
+    sockets=2,
+    simd=AVX2,
+    l1_bytes=32 * KB,
+    l2_bytes=256 * KB,
+    l3_bytes=30 * MB,
+    inclusive_llc=True,
+    dram_capacity_bytes=256 * GB,
+    ddr_type="DDR3",
+    ddr_freq_mhz=1600,
+    dram_bw_bytes_per_s=51e9,
+    sls_cycles_per_lookup=_SLS_CYCLES_AVX2,
+    sls_mlp=_SLS_MLP_RING,
+    llc_latency_cycles=48,
+    dram_random_ns=170.0,
+    # Older core: lower GEMM efficiency at every batch (paper: BDW is
+    # 1.32-1.4x faster at batch 16 despite HSW's higher clock).
+    fc_utilization=((1, 0.066), (4, 0.19), (16, 0.55), (64, 0.66), (256, 0.68)),
+)
+
+BROADWELL = ServerSpec(
+    name="Broadwell",
+    frequency_ghz=2.4,
+    cores_per_socket=14,
+    sockets=2,
+    simd=AVX2,
+    l1_bytes=32 * KB,
+    l2_bytes=256 * KB,
+    l3_bytes=35 * MB,
+    inclusive_llc=True,
+    dram_capacity_bytes=256 * GB,
+    ddr_type="DDR4",
+    ddr_freq_mhz=2400,
+    dram_bw_bytes_per_s=77e9,
+    sls_cycles_per_lookup=_SLS_CYCLES_AVX2,
+    sls_mlp=_SLS_MLP_RING,
+    llc_latency_cycles=40,
+    dram_random_ns=130.0,
+    # AVX-2 fills its 8 lanes at modest batch: high utilization early.
+    fc_utilization=((1, 0.088), (4, 0.25), (16, 0.75), (64, 0.90), (256, 0.92)),
+)
+
+SKYLAKE = ServerSpec(
+    name="Skylake",
+    frequency_ghz=2.0,
+    cores_per_socket=20,
+    sockets=2,
+    simd=AVX512,
+    l1_bytes=32 * KB,
+    l2_bytes=1 * MB,
+    l3_bytes=int(27.5 * MB),
+    inclusive_llc=False,
+    dram_capacity_bytes=256 * GB,
+    ddr_type="DDR4",
+    ddr_freq_mhz=2666,
+    dram_bw_bytes_per_s=85e9,
+    sls_cycles_per_lookup=_SLS_CYCLES_AVX512,
+    sls_mlp=_SLS_MLP_MESH,
+    llc_latency_cycles=55,
+    dram_random_ns=125.0,
+    # AVX-512 needs large batches to fill 16 lanes (paper: crossover vs
+    # Broadwell at batch ~64 for compute models, ~128 for memory models).
+    fc_utilization=((1, 0.030), (4, 0.085), (16, 0.27), (64, 0.55), (256, 0.72)),
+)
+
+ALL_SERVERS = (HASWELL, BROADWELL, SKYLAKE)
+
+SERVERS_BY_NAME = {s.name: s for s in ALL_SERVERS}
+
+
+def get_server(name: str) -> ServerSpec:
+    """Look up a server generation by name (case-insensitive)."""
+    for server in ALL_SERVERS:
+        if server.name.lower() == name.lower():
+            return server
+    valid = ", ".join(s.name for s in ALL_SERVERS)
+    raise KeyError(f"unknown server {name!r}; valid: {valid}")

@@ -1,0 +1,41 @@
+"""Memory-system studies: embedding caches, DRAM/NVM tiering, near-memory."""
+
+from .embedding_cache import (
+    CacheReplayResult,
+    LfuRowCache,
+    LruRowCache,
+    RowCache,
+    StaticHotRowCache,
+    sweep_cache_sizes,
+)
+from .near_memory import NmpConfig, NmpSpeedupResult, nmp_speedup
+from .sizing import SizingPlan, SizingPoint, plan_cache_size
+from .tiering import (
+    DRAM_ROW_NS,
+    NVM_ROW_NS,
+    TieredPlacement,
+    plan_tiering,
+    popularity_hit_ratio,
+    sweep_dram_fractions,
+)
+
+__all__ = [
+    "CacheReplayResult",
+    "LfuRowCache",
+    "LruRowCache",
+    "RowCache",
+    "StaticHotRowCache",
+    "sweep_cache_sizes",
+    "NmpConfig",
+    "NmpSpeedupResult",
+    "nmp_speedup",
+    "SizingPlan",
+    "SizingPoint",
+    "plan_cache_size",
+    "DRAM_ROW_NS",
+    "NVM_ROW_NS",
+    "TieredPlacement",
+    "plan_tiering",
+    "popularity_hit_ratio",
+    "sweep_dram_fractions",
+]

@@ -1,0 +1,151 @@
+"""Software-managed embedding caches.
+
+The paper closes by pointing at the memory system: production lookup
+traces have exploitable locality (Figure 14), so "intelligent caching and
+prefetching" can cut SLS DRAM traffic, and its open-source trace
+generators exist precisely to drive such studies. This module implements
+the study: replace raw DRAM row gathers with a software-managed cache of
+embedding *rows* (not lines), replay a trace, and feed the resulting hit
+ratio back into the server timing model.
+
+Policies:
+
+* :class:`LruRowCache` — recency-based, the natural fit for temporal-reuse
+  traces;
+* :class:`LfuRowCache` — frequency-based, the natural fit for Zipf
+  popularity skew;
+* :class:`StaticHotRowCache` — a pinned hot set (e.g. the most popular IDs
+  from a profiling pass), the cheapest to implement in production.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import Counter, OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CacheReplayResult:
+    """Outcome of replaying a lookup trace through a row cache."""
+
+    policy: str
+    capacity_rows: int
+    lookups: int
+    hits: int
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups served from the cache."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class RowCache(abc.ABC):
+    """A fixed-capacity cache of embedding rows keyed by sparse ID."""
+
+    policy_name = "abstract"
+
+    def __init__(self, capacity_rows: int) -> None:
+        if capacity_rows < 1:
+            raise ValueError("cache capacity must be at least one row")
+        self.capacity_rows = capacity_rows
+
+    @abc.abstractmethod
+    def access(self, row: int) -> bool:
+        """Access one row; returns True on hit, inserting on miss."""
+
+    def replay(self, rows: np.ndarray) -> CacheReplayResult:
+        """Replay a trace of row IDs; returns hit statistics."""
+        rows = np.asarray(rows)
+        if rows.size == 0:
+            raise ValueError("trace must contain at least one lookup")
+        hits = 0
+        for row in rows:
+            if self.access(int(row)):
+                hits += 1
+        return CacheReplayResult(
+            policy=self.policy_name,
+            capacity_rows=self.capacity_rows,
+            lookups=int(rows.size),
+            hits=hits,
+        )
+
+
+class LruRowCache(RowCache):
+    """Least-recently-used row cache."""
+
+    policy_name = "LRU"
+
+    def __init__(self, capacity_rows: int) -> None:
+        super().__init__(capacity_rows)
+        self._rows: OrderedDict[int, None] = OrderedDict()
+
+    def access(self, row: int) -> bool:
+        if row in self._rows:
+            self._rows.move_to_end(row)
+            return True
+        if len(self._rows) >= self.capacity_rows:
+            self._rows.popitem(last=False)
+        self._rows[row] = None
+        return False
+
+
+class LfuRowCache(RowCache):
+    """Least-frequently-used row cache (ties broken by recency)."""
+
+    policy_name = "LFU"
+
+    def __init__(self, capacity_rows: int) -> None:
+        super().__init__(capacity_rows)
+        self._counts: Counter[int] = Counter()
+        self._resident: OrderedDict[int, None] = OrderedDict()
+
+    def access(self, row: int) -> bool:
+        self._counts[row] += 1
+        if row in self._resident:
+            self._resident.move_to_end(row)
+            return True
+        if len(self._resident) >= self.capacity_rows:
+            # Least-frequent victim; insertion order breaks ties (oldest out).
+            victim = min(self._resident, key=lambda r: self._counts[r])
+            del self._resident[victim]
+        self._resident[row] = None
+        return False
+
+
+class StaticHotRowCache(RowCache):
+    """A pinned set of hot rows chosen ahead of time (no replacement)."""
+
+    policy_name = "StaticHot"
+
+    def __init__(self, hot_rows) -> None:
+        hot = set(int(r) for r in hot_rows)
+        super().__init__(max(1, len(hot)))
+        self._hot = hot
+
+    def access(self, row: int) -> bool:
+        return row in self._hot
+
+    @classmethod
+    def from_profile(cls, profile_rows: np.ndarray, capacity_rows: int) -> "StaticHotRowCache":
+        """Pin the ``capacity_rows`` most frequent IDs of a profiling trace."""
+        if capacity_rows < 1:
+            raise ValueError("capacity must be positive")
+        counts = Counter(int(r) for r in np.asarray(profile_rows))
+        hot = [row for row, _ in counts.most_common(capacity_rows)]
+        return cls(hot)
+
+
+def sweep_cache_sizes(
+    policy_factory,
+    rows: np.ndarray,
+    capacities: list[int],
+) -> list[CacheReplayResult]:
+    """Replay one trace across a sweep of cache capacities."""
+    results = []
+    for capacity in capacities:
+        cache = policy_factory(capacity)
+        results.append(cache.replay(rows))
+    return results

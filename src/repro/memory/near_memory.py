@@ -1,0 +1,81 @@
+"""Near-memory processing for embedding operations.
+
+The paper's related work cites near-memory-processing proposals that
+accelerate embedding-table operations by executing the gather-and-sum
+inside the memory system (TensorDIMM/RecNMP-style). This module models
+the end-to-end effect: SLS time shrinks by the NMP speedup (pooling
+reduces data crossing the memory bus from one row per lookup to one pooled
+vector per sample), while the rest of the model is untouched — an Amdahl
+analysis symmetric to the FC-accelerator study in
+:mod:`repro.hw.accelerator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config.model_config import ModelConfig
+from ..hw.server import ServerSpec
+from ..hw.timing import TimingModel
+
+
+@dataclass(frozen=True)
+class NmpConfig:
+    """A near-memory SLS accelerator.
+
+    Attributes:
+        sls_speedup: factor by which SLS operator time shrinks (rank-level
+            parallelism + on-DIMM reduction).
+        offload_overhead_s: per-SLS-invocation command/launch overhead.
+    """
+
+    sls_speedup: float = 8.0
+    offload_overhead_s: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.sls_speedup < 1.0:
+            raise ValueError("sls_speedup must be >= 1")
+        if self.offload_overhead_s < 0:
+            raise ValueError("offload overhead must be non-negative")
+
+
+@dataclass(frozen=True)
+class NmpSpeedupResult:
+    """End-to-end effect of near-memory SLS acceleration on one model."""
+
+    model_name: str
+    server_name: str
+    batch_size: int
+    baseline_seconds: float
+    accelerated_seconds: float
+    sls_share: float
+
+    @property
+    def end_to_end_speedup(self) -> float:
+        """Total-latency improvement factor."""
+        return self.baseline_seconds / self.accelerated_seconds
+
+
+def nmp_speedup(
+    server: ServerSpec,
+    config: ModelConfig,
+    batch_size: int,
+    nmp: NmpConfig = NmpConfig(),
+) -> NmpSpeedupResult:
+    """Predict end-to-end latency with near-memory SLS execution."""
+    latency = TimingModel(server).model_latency(config, batch_size)
+    baseline = latency.total_seconds
+    accelerated = 0.0
+    for op in latency.per_op:
+        if op.op_type == "SLS":
+            accelerated += op.seconds / nmp.sls_speedup + nmp.offload_overhead_s
+        else:
+            accelerated += op.seconds
+    return NmpSpeedupResult(
+        model_name=config.name,
+        server_name=server.name,
+        batch_size=batch_size,
+        baseline_seconds=baseline,
+        accelerated_seconds=accelerated,
+        sls_share=latency.fraction_by_op_type().get("SLS", 0.0),
+    )

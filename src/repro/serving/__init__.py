@@ -1,0 +1,159 @@
+"""Serving substrate: load generation, batching, co-location, scheduling."""
+
+from .batch_serving import (
+    BatchedServer,
+    BatchedServingResult,
+    batching_sweep,
+    best_max_batch,
+)
+from .autoscaler import (
+    Autoscaler,
+    AutoscaleResult,
+    DiurnalLoad,
+    static_provisioning,
+)
+from .batcher import Batch, Batcher, batch_stream
+from .cluster import (
+    ClusterPlan,
+    MachinePool,
+    WorkloadDemand,
+    aware_capacity,
+    blind_capacity,
+    heterogeneity_gain,
+)
+from .distributed import (
+    DistributedLatency,
+    NetworkConfig,
+    ShardPlan,
+    distributed_latency,
+    shard_tables,
+    sharding_sweep,
+)
+from .fleet import (
+    CNN_OPERATOR_FRACTIONS,
+    Fleet,
+    FleetService,
+    RNN_OPERATOR_FRACTIONS,
+    production_fleet,
+)
+from .loadgen import ClosedLoopLoadGenerator, PoissonLoadGenerator, Query
+from .metrics import (
+    RANKING_SLA,
+    SEARCH_SLA,
+    SLA,
+    ThroughputPoint,
+    latency_bounded_throughput,
+)
+from .mixed_colocation import (
+    GroupingComparison,
+    JobSpec,
+    PlacedJob,
+    compare_groupings,
+    machine_latencies,
+    machine_throughput,
+)
+from .pipeline import (
+    FilterRankPipeline,
+    PipelineLatencyEstimate,
+    PipelineResult,
+    estimate_pipeline_latency,
+)
+from .placement_optimizer import (
+    PlacementSolution,
+    greedy_placement,
+    optimize_placement,
+    round_robin_placement,
+)
+from .provisioning import (
+    DEFAULT_PRICES,
+    PricedGeneration,
+    ProvisioningPlan,
+    provision_min_cost,
+    single_generation_cost,
+)
+from .ranking_quality import ndcg_at_k, pipeline_quality, recall_at_k
+from .router import (
+    POLICIES,
+    RequestRouter,
+    RoutingResult,
+    compare_policies,
+)
+from .scheduler import (
+    PlacementDecision,
+    best_placement,
+    colocation_sweep,
+    route_to_best_server,
+)
+from .simulator import InferenceRecord, ServingSimulator, SimulationResult
+
+__all__ = [
+    "Autoscaler",
+    "AutoscaleResult",
+    "DiurnalLoad",
+    "static_provisioning",
+    "BatchedServer",
+    "BatchedServingResult",
+    "batching_sweep",
+    "best_max_batch",
+    "DistributedLatency",
+    "NetworkConfig",
+    "ShardPlan",
+    "distributed_latency",
+    "shard_tables",
+    "sharding_sweep",
+    "Batch",
+    "Batcher",
+    "batch_stream",
+    "ClusterPlan",
+    "MachinePool",
+    "WorkloadDemand",
+    "aware_capacity",
+    "blind_capacity",
+    "heterogeneity_gain",
+    "CNN_OPERATOR_FRACTIONS",
+    "Fleet",
+    "FleetService",
+    "RNN_OPERATOR_FRACTIONS",
+    "production_fleet",
+    "ClosedLoopLoadGenerator",
+    "PoissonLoadGenerator",
+    "Query",
+    "RANKING_SLA",
+    "SEARCH_SLA",
+    "SLA",
+    "ThroughputPoint",
+    "latency_bounded_throughput",
+    "GroupingComparison",
+    "JobSpec",
+    "PlacedJob",
+    "compare_groupings",
+    "machine_latencies",
+    "machine_throughput",
+    "FilterRankPipeline",
+    "PipelineLatencyEstimate",
+    "PipelineResult",
+    "estimate_pipeline_latency",
+    "PlacementSolution",
+    "greedy_placement",
+    "optimize_placement",
+    "round_robin_placement",
+    "DEFAULT_PRICES",
+    "PricedGeneration",
+    "ProvisioningPlan",
+    "provision_min_cost",
+    "single_generation_cost",
+    "ndcg_at_k",
+    "pipeline_quality",
+    "recall_at_k",
+    "POLICIES",
+    "RequestRouter",
+    "RoutingResult",
+    "compare_policies",
+    "PlacementDecision",
+    "best_placement",
+    "colocation_sweep",
+    "route_to_best_server",
+    "InferenceRecord",
+    "ServingSimulator",
+    "SimulationResult",
+]

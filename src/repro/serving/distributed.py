@@ -1,0 +1,180 @@
+"""Distributed (sharded) recommendation inference.
+
+The paper notes its open-source benchmark "can be used to analyze
+scheduling decisions, such as running recommendation models across many
+nodes (distributed inference)". The standard production layout shards the
+multi-GB embedding tables across servers: each shard executes the SLS
+lookups for its tables, pooled vectors travel over the network, and one
+node runs the MLPs and produces the CTR.
+
+:func:`shard_tables` partitions tables greedily by size;
+:func:`distributed_latency` predicts the end-to-end latency: the slowest
+shard's SLS time (shards work in parallel), plus network transfer of the
+pooled embedding vectors, plus the dense compute on the aggregator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config.model_config import ModelConfig
+from ..core.graph import config_ops
+from ..core.operators.base import OP_SLS
+from ..hw.server import ServerSpec
+from ..hw.timing import TimingModel
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Datacenter network between shards and the aggregator.
+
+    Attributes:
+        rtt_s: request/response round-trip latency.
+        bandwidth_bytes_per_s: per-link bandwidth (25 GbE default).
+    """
+
+    rtt_s: float = 25e-6
+    bandwidth_bytes_per_s: float = 25e9 / 8
+
+    def __post_init__(self) -> None:
+        if self.rtt_s < 0 or self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("invalid network parameters")
+
+    def transfer_s(self, payload_bytes: int) -> float:
+        """Latency to move one payload shard→aggregator."""
+        return self.rtt_s + payload_bytes / self.bandwidth_bytes_per_s
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Assignment of embedding tables to shards.
+
+    Attributes:
+        num_shards: shard count.
+        table_assignment: shard index per embedding table, in table order.
+    """
+
+    num_shards: int
+    table_assignment: tuple[int, ...]
+
+    def tables_of(self, shard: int) -> list[int]:
+        """Table indices owned by ``shard``."""
+        return [i for i, s in enumerate(self.table_assignment) if s == shard]
+
+
+def shard_tables(config: ModelConfig, num_shards: int) -> ShardPlan:
+    """Greedy largest-first partition of tables by storage bytes."""
+    if num_shards < 1:
+        raise ValueError("need at least one shard")
+    sizes = [
+        (i, t.storage_bytes(config.dtype))
+        for i, t in enumerate(config.embedding_tables)
+    ]
+    sizes.sort(key=lambda pair: -pair[1])
+    loads = [0] * num_shards
+    assignment = [0] * len(sizes)
+    for table_idx, size in sizes:
+        shard = loads.index(min(loads))
+        assignment[table_idx] = shard
+        loads[shard] += size
+    return ShardPlan(num_shards=num_shards, table_assignment=tuple(assignment))
+
+
+@dataclass(frozen=True)
+class DistributedLatency:
+    """End-to-end latency of one sharded inference."""
+
+    model_name: str
+    num_shards: int
+    batch_size: int
+    slowest_shard_seconds: float
+    network_seconds: float
+    dense_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        """Sharded end-to-end latency (shards overlap; network + dense
+        follow the slowest shard)."""
+        return self.slowest_shard_seconds + self.network_seconds + self.dense_seconds
+
+
+def distributed_latency(
+    server: ServerSpec,
+    config: ModelConfig,
+    batch_size: int,
+    plan: ShardPlan,
+    network: NetworkConfig = NetworkConfig(),
+) -> DistributedLatency:
+    """Predict sharded-inference latency on homogeneous shard servers."""
+    timing = TimingModel(server)
+    specs = config_ops(config)
+    sls_specs = [s for s in specs if s.op_type == OP_SLS]
+    if len(sls_specs) != len(plan.table_assignment):
+        raise ValueError(
+            f"plan covers {len(plan.table_assignment)} tables, model has "
+            f"{len(sls_specs)}"
+        )
+
+    # Per-shard SLS time: the shard's own tables determine its hit ratio.
+    shard_seconds = []
+    for shard in range(plan.num_shards):
+        tables = plan.tables_of(shard)
+        if not tables:
+            shard_seconds.append(0.0)
+            continue
+        shard_table_bytes = sum(
+            config.embedding_tables[i].storage_bytes(config.dtype) for i in tables
+        )
+        hit = timing.table_hit_ratio(shard_table_bytes)
+        total = 0.0
+        for i in tables:
+            spec = sls_specs[i]
+            total += timing.sls_time(
+                spec.name,
+                spec.lookups_per_sample,
+                spec.embedding_dim,
+                batch_size,
+                hit_ratio=hit,
+                dtype_bytes=spec.dtype_bytes,
+            ).seconds
+        shard_seconds.append(total)
+
+    # Pooled embedding vectors travel to the aggregator (links in parallel,
+    # so the largest single shard payload bounds the transfer).
+    payloads = []
+    for shard in range(plan.num_shards):
+        dims = sum(sls_specs[i].embedding_dim for i in plan.tables_of(shard))
+        payloads.append(batch_size * dims * 4)
+    network_seconds = (
+        max(network.transfer_s(p) for p in payloads) if plan.num_shards > 1 else 0.0
+    )
+
+    dense_seconds = sum(
+        timing.op_time(spec, batch_size).seconds
+        for spec in specs
+        if spec.op_type != OP_SLS
+    )
+    return DistributedLatency(
+        model_name=config.name,
+        num_shards=plan.num_shards,
+        batch_size=batch_size,
+        slowest_shard_seconds=max(shard_seconds),
+        network_seconds=network_seconds,
+        dense_seconds=dense_seconds,
+    )
+
+
+def sharding_sweep(
+    server: ServerSpec,
+    config: ModelConfig,
+    batch_size: int,
+    shard_counts: list[int],
+    network: NetworkConfig = NetworkConfig(),
+) -> list[DistributedLatency]:
+    """Latency across shard counts (the scaling curve)."""
+    return [
+        distributed_latency(
+            server, config, batch_size, shard_tables(config, n), network
+        )
+        for n in shard_counts
+    ]

@@ -1,0 +1,63 @@
+"""Serving metrics: SLA and latency-bounded throughput.
+
+The paper's first takeaway: latency alone is insufficient for benchmarking
+data-center inference — what matters is *latency-bounded throughput*, the
+number of items ranked per second while meeting the service-level agreement
+(SLA, tens to hundreds of milliseconds for recommendation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SLA:
+    """A latency service-level agreement.
+
+    Attributes:
+        deadline_s: the latency bound.
+        percentile: the fraction of requests that must meet it (e.g. 0.99).
+    """
+
+    deadline_s: float
+    percentile: float = 0.99
+
+    def __post_init__(self) -> None:
+        if self.deadline_s <= 0:
+            raise ValueError("deadline must be positive")
+        if not 0.0 < self.percentile <= 1.0:
+            raise ValueError("percentile must be in (0, 1]")
+
+    def is_met(self, latencies_s) -> bool:
+        """True if the required percentile of ``latencies_s`` is in bound."""
+        arr = np.asarray(list(latencies_s), dtype=np.float64)
+        if arr.size == 0:
+            raise ValueError("no latencies to evaluate")
+        return float(np.percentile(arr, self.percentile * 100)) <= self.deadline_s
+
+
+#: SLA regimes cited by the paper: ~10 ms for search-style low-latency
+#: services, hundreds of ms for throughput-oriented ranking.
+SEARCH_SLA = SLA(deadline_s=0.010)
+RANKING_SLA = SLA(deadline_s=0.450)
+
+
+@dataclass(frozen=True)
+class ThroughputPoint:
+    """One point on a latency/throughput frontier (Figure 10)."""
+
+    num_jobs: int
+    latency_s: float
+    items_per_s: float
+    meets_sla: bool
+
+
+def latency_bounded_throughput(points: list[ThroughputPoint]) -> ThroughputPoint | None:
+    """The highest-throughput point that still meets the SLA, if any."""
+    feasible = [p for p in points if p.meets_sla]
+    if not feasible:
+        return None
+    return max(feasible, key=lambda p: p.items_per_s)

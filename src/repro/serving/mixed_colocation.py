@@ -1,0 +1,123 @@
+"""Mixed-model co-location: which models should share a machine?
+
+The paper's co-location study (Section VI) uses homogeneous jobs, but its
+mechanism — contention scales with the co-runners' DRAM traffic and
+resident working sets — immediately implies a placement rule: avoid packing
+memory-intensive models together. This module evaluates heterogeneous
+placements: each job's contention state is built from the *other* jobs'
+actual traffic and footprints, so a machine mixing RMC2 (DRAM-hungry) with
+RMC3 (compute-hungry) behaves differently from one running eight RMC2s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config.model_config import ModelConfig
+from ..hw.colocation import ColocationState
+from ..hw.server import ServerSpec
+from ..hw.timing import ModelLatency, TimingModel
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One inference job to place."""
+
+    config: ModelConfig
+    batch_size: int
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be positive")
+
+
+@dataclass(frozen=True)
+class PlacedJob:
+    """One job's predicted behaviour within a machine's mix."""
+
+    job: JobSpec
+    latency: ModelLatency
+
+    @property
+    def items_per_s(self) -> float:
+        """Closed-loop serving rate of this job."""
+        return self.job.batch_size / self.latency.total_seconds
+
+
+def machine_latencies(server: ServerSpec, jobs: list[JobSpec]) -> list[PlacedJob]:
+    """Predict each job's latency when all ``jobs`` share one socket.
+
+    Each job sees a contention state whose co-runner traffic and resident
+    footprint are the averages of the *other* jobs on the machine.
+    """
+    if not jobs:
+        raise ValueError("need at least one job")
+    timing = TimingModel(server)
+    traffic = [
+        timing.estimate_random_traffic_gbps(j.config, j.batch_size) for j in jobs
+    ]
+    resident = [timing.resident_bytes(j.config) for j in jobs]
+    n = len(jobs)
+    placed = []
+    for i, job in enumerate(jobs):
+        if n == 1:
+            state = ColocationState(num_jobs=1)
+        else:
+            others_traffic = (sum(traffic) - traffic[i]) / (n - 1)
+            others_resident = (sum(resident) - resident[i]) // (n - 1)
+            state = ColocationState(
+                num_jobs=n,
+                corunner_random_gbps=others_traffic,
+                resident_bytes_per_job=int(others_resident),
+            )
+        placed.append(
+            PlacedJob(
+                job=job,
+                latency=timing.model_latency(job.config, job.batch_size, state),
+            )
+        )
+    return placed
+
+
+def machine_throughput(server: ServerSpec, jobs: list[JobSpec]) -> float:
+    """Aggregate closed-loop items/s of one machine's job mix."""
+    return sum(p.items_per_s for p in machine_latencies(server, jobs))
+
+
+@dataclass(frozen=True)
+class GroupingComparison:
+    """Segregated vs interleaved placement of two job groups on two machines."""
+
+    segregated_items_per_s: float
+    interleaved_items_per_s: float
+
+    @property
+    def interleaving_gain(self) -> float:
+        """Throughput multiplier of interleaving over segregation."""
+        return self.interleaved_items_per_s / self.segregated_items_per_s
+
+
+def compare_groupings(
+    server: ServerSpec, group_a: list[JobSpec], group_b: list[JobSpec]
+) -> GroupingComparison:
+    """Two machines, two job groups: keep groups apart, or interleave?
+
+    Segregated: machine 1 runs all of ``group_a``, machine 2 all of
+    ``group_b``. Interleaved: each machine runs half of each group
+    (groups must have even size).
+    """
+    if len(group_a) % 2 or len(group_b) % 2:
+        raise ValueError("groups must have even size to interleave")
+    segregated = machine_throughput(server, group_a) + machine_throughput(
+        server, group_b
+    )
+    half_a, half_b = len(group_a) // 2, len(group_b) // 2
+    mixed_one = group_a[:half_a] + group_b[:half_b]
+    mixed_two = group_a[half_a:] + group_b[half_b:]
+    interleaved = machine_throughput(server, mixed_one) + machine_throughput(
+        server, mixed_two
+    )
+    return GroupingComparison(
+        segregated_items_per_s=segregated,
+        interleaved_items_per_s=interleaved,
+    )

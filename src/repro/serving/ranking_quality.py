@@ -1,0 +1,73 @@
+"""Ranking-quality metrics for the filtering → ranking pipeline.
+
+The Figure-6 hierarchy trades accuracy for latency: lightweight filtering
+may drop posts the heavyweight ranker would have surfaced. These metrics
+quantify that cost against a ground-truth ordering (in our synthetic
+setting, the teacher model of
+:class:`~repro.data.synthetic_ctr.SyntheticCtrDataset`):
+
+* recall@k — fraction of the true top-k the pipeline returned;
+* NDCG@k — position-discounted gain of the returned list.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def recall_at_k(returned: list[int], true_ranking: list[int], k: int) -> float:
+    """Fraction of the true top-``k`` items present in ``returned``."""
+    if k < 1:
+        raise ValueError("k must be positive")
+    if len(true_ranking) < k:
+        raise ValueError("true ranking shorter than k")
+    top = set(true_ranking[:k])
+    return len(top.intersection(returned)) / k
+
+
+def ndcg_at_k(
+    returned: list[int], relevance: dict[int, float], k: int
+) -> float:
+    """Normalized discounted cumulative gain of the returned list.
+
+    ``relevance`` maps item ids to non-negative gains; the ideal ordering
+    is by descending relevance.
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    if any(g < 0 for g in relevance.values()):
+        raise ValueError("relevance gains must be non-negative")
+    discounts = 1.0 / np.log2(np.arange(2, k + 2))
+    gains = np.array(
+        [relevance.get(item, 0.0) for item in returned[:k]], dtype=np.float64
+    )
+    if gains.size < k:
+        gains = np.pad(gains, (0, k - gains.size))
+    dcg = float((gains * discounts).sum())
+    ideal = np.sort(np.array(list(relevance.values()), dtype=np.float64))[::-1][:k]
+    if ideal.size < k:
+        ideal = np.pad(ideal, (0, k - ideal.size))
+    idcg = float((ideal * discounts).sum())
+    return dcg / idcg if idcg > 0 else 0.0
+
+
+def pipeline_quality(
+    selected: list[int],
+    true_scores: np.ndarray,
+    k: int,
+) -> dict[str, float]:
+    """Recall@k and NDCG@k of a pipeline's selection vs true scores.
+
+    Args:
+        selected: candidate indices the pipeline returned (best first).
+        true_scores: ground-truth score per candidate index.
+        k: evaluation depth.
+    """
+    true_scores = np.asarray(true_scores, dtype=np.float64)
+    true_ranking = list(np.argsort(true_scores)[::-1])
+    floor = true_scores.min()
+    relevance = {i: float(s - floor) for i, s in enumerate(true_scores)}
+    return {
+        "recall_at_k": recall_at_k(selected, true_ranking, k),
+        "ndcg_at_k": ndcg_at_k(selected, relevance, k),
+    }

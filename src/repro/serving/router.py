@@ -1,0 +1,179 @@
+"""Request routing across replicated inference servers (queueing DES).
+
+Data-center front-ends spread queries across many model replicas; the
+routing policy shapes tail latency long before micro-architecture does.
+This simulator complements :mod:`repro.serving.simulator` (contention on
+one machine) with the fleet view: M machines serving one model, Poisson
+query arrivals, and three classic policies —
+
+* round-robin — cyclic, state-free;
+* random — uniform choice;
+* JSQ(d) — "power of d choices": sample d machines, pick the shortest
+  queue; ``d=2`` captures most of join-shortest-queue's benefit at a
+  fraction of its probing cost.
+
+Service times come from the timing model plus lognormal noise, so the
+policies are compared under realistic variability.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.distributions import LatencySummary, summarize
+from ..config.model_config import ModelConfig
+from ..hw.server import ServerSpec
+from ..hw.timing import TimingModel
+
+POLICIES = ("round_robin", "random", "jsq2")
+
+#: Multiplicative service-time noise (lognormal sigma).
+SERVICE_NOISE_SIGMA = 0.10
+
+
+@dataclass(frozen=True)
+class RoutingResult:
+    """Outcome of one routing simulation."""
+
+    policy: str
+    num_machines: int
+    offered_qps: float
+    latencies_s: np.ndarray
+    duration_s: float
+
+    def summary(self) -> LatencySummary:
+        """Per-query latency percentiles."""
+        return summarize(self.latencies_s)
+
+    def throughput_qps(self) -> float:
+        """Completed queries per second."""
+        return len(self.latencies_s) / self.duration_s
+
+
+class RequestRouter:
+    """Simulates one routing policy over replicated servers.
+
+    Args:
+        server: machine generation (all replicas identical).
+        config: the model each replica serves.
+        batch_size: items per query (each query is one inference).
+        num_machines: replica count.
+        policy: one of :data:`POLICIES`.
+        seed: RNG seed.
+    """
+
+    def __init__(
+        self,
+        server: ServerSpec,
+        config: ModelConfig,
+        batch_size: int,
+        num_machines: int,
+        policy: str = "jsq2",
+        seed: int = 0,
+    ) -> None:
+        if num_machines < 1:
+            raise ValueError("need at least one machine")
+        if policy not in POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; valid: {POLICIES}")
+        self.server = server
+        self.config = config
+        self.batch_size = batch_size
+        self.num_machines = num_machines
+        self.policy = policy
+        self._rng = np.random.default_rng(seed)
+        self._base_service = TimingModel(server).model_latency(
+            config, batch_size
+        ).total_seconds
+
+    def mean_service_s(self) -> float:
+        """Mean per-query service time."""
+        return self._base_service
+
+    def max_stable_qps(self) -> float:
+        """Arrival rate at 100% utilization (stability boundary)."""
+        return self.num_machines / self._base_service
+
+    def _pick_machine(self, queue_depth: list[int], rr_state: list[int]) -> int:
+        if self.policy == "round_robin":
+            machine = rr_state[0] % self.num_machines
+            rr_state[0] += 1
+            return machine
+        if self.policy == "random":
+            return int(self._rng.integers(self.num_machines))
+        # jsq2: sample two distinct machines, pick the shorter queue.
+        if self.num_machines == 1:
+            return 0
+        a, b = self._rng.choice(self.num_machines, size=2, replace=False)
+        return int(a if queue_depth[a] <= queue_depth[b] else b)
+
+    def run(self, offered_qps: float, duration_s: float = 1.0) -> RoutingResult:
+        """Simulate ``duration_s`` of Poisson arrivals at ``offered_qps``."""
+        if offered_qps <= 0 or duration_s <= 0:
+            raise ValueError("rate and duration must be positive")
+        rng = self._rng
+        arrivals = []
+        t = 0.0
+        while True:
+            t += float(rng.exponential(1.0 / offered_qps))
+            if t >= duration_s:
+                break
+            arrivals.append(t)
+
+        queue_depth = [0] * self.num_machines
+        free_at = [0.0] * self.num_machines
+        rr_state = [0]
+        # Event queue of completions: (finish_time, seq, machine).
+        completions: list[tuple[float, int, int]] = []
+        latencies: list[float] = []
+        seq = 0
+        for arrival in arrivals:
+            # Drain completions before this arrival to keep queues current.
+            while completions and completions[0][0] <= arrival:
+                _, _, machine = heapq.heappop(completions)
+                queue_depth[machine] -= 1
+            machine = self._pick_machine(queue_depth, rr_state)
+            sigma = SERVICE_NOISE_SIGMA
+            service = self._base_service * float(
+                rng.lognormal(mean=-0.5 * sigma**2, sigma=sigma)
+            )
+            start = max(arrival, free_at[machine])
+            finish = start + service
+            free_at[machine] = finish
+            queue_depth[machine] += 1
+            heapq.heappush(completions, (finish, seq, machine))
+            seq += 1
+            latencies.append(finish - arrival)
+
+        return RoutingResult(
+            policy=self.policy,
+            num_machines=self.num_machines,
+            offered_qps=offered_qps,
+            latencies_s=np.asarray(latencies),
+            duration_s=duration_s,
+        )
+
+
+def compare_policies(
+    server: ServerSpec,
+    config: ModelConfig,
+    batch_size: int,
+    num_machines: int,
+    utilization: float = 0.8,
+    duration_s: float = 2.0,
+    seed: int = 0,
+) -> dict[str, RoutingResult]:
+    """Run every policy at the same offered load (fraction of capacity)."""
+    if not 0 < utilization < 1:
+        raise ValueError("utilization must be in (0, 1)")
+    probe = RequestRouter(server, config, batch_size, num_machines, seed=seed)
+    qps = utilization * probe.max_stable_qps()
+    out = {}
+    for policy in POLICIES:
+        router = RequestRouter(
+            server, config, batch_size, num_machines, policy=policy, seed=seed
+        )
+        out[policy] = router.run(qps, duration_s)
+    return out

@@ -1,0 +1,293 @@
+"""Discrete-event simulation of co-located inference serving.
+
+The paper's production observations (Section VI.A / Figure 11) come from a
+serving environment where a machine hosts many model instances, each fed by
+its own request stream. Because the instantaneous number of *active* jobs
+fluctuates, the effective contention state — and therefore each operator's
+latency — fluctuates with it, producing Broadwell's multi-modal FC latency
+distribution and its steep p99 growth under high co-location.
+
+:class:`ServingSimulator` reproduces that environment: ``num_instances``
+model replicas on one socket, each receiving Poisson arrivals (open loop)
+or re-issuing immediately (closed loop). Service times come from the
+:class:`~repro.hw.timing.TimingModel` evaluated at the dispatch-time active
+count, with multiplicative lognormal noise whose spread grows with
+contention (and faster on inclusive hierarchies).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from ..analysis.distributions import LatencySummary, summarize
+from ..config.model_config import ModelConfig
+from ..hw.colocation import ColocationState
+from ..hw.server import ServerSpec
+from ..hw.timing import ModelLatency, TimingModel
+
+#: Baseline multiplicative latency noise (OS jitter, clock, queue probes).
+BASE_NOISE_SIGMA = 0.04
+
+#: Additional noise per unit of LLC churn, by hierarchy type. Inclusive
+#: hierarchies (Haswell/Broadwell) suffer noisier latency under contention
+#: because back-invalidations strike unpredictably. Kept below the spacing
+#: of the co-location latency levels so the Figure-11a modes stay separable.
+CONTENTION_NOISE_INCLUSIVE = 0.08
+CONTENTION_NOISE_EXCLUSIVE = 0.03
+
+
+@dataclass(frozen=True)
+class InferenceRecord:
+    """One completed inference in the simulation."""
+
+    instance_id: int
+    arrival_s: float
+    start_s: float
+    end_s: float
+    active_jobs: int
+    service_s: float
+
+    @property
+    def latency_s(self) -> float:
+        """Queueing delay + service time."""
+        return self.end_s - self.arrival_s
+
+    @property
+    def queue_s(self) -> float:
+        """Time spent waiting for the instance to become free."""
+        return self.start_s - self.arrival_s
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one serving simulation."""
+
+    server_name: str
+    model_name: str
+    batch_size: int
+    num_instances: int
+    duration_s: float
+    records: list[InferenceRecord]
+
+    def latencies_s(self) -> np.ndarray:
+        """End-to-end latency of every completed inference."""
+        return np.array([r.latency_s for r in self.records], dtype=np.float64)
+
+    def service_times_s(self) -> np.ndarray:
+        """Service time (excluding queueing) of every inference."""
+        return np.array([r.service_s for r in self.records], dtype=np.float64)
+
+    def summary(self) -> LatencySummary:
+        """Percentile summary of end-to-end latencies."""
+        return summarize(self.latencies_s())
+
+    def throughput_items_per_s(self) -> float:
+        """Items ranked per second across all instances."""
+        if not self.records:
+            return 0.0
+        return len(self.records) * self.batch_size / self.duration_s
+
+    def active_job_counts(self) -> np.ndarray:
+        """Active co-located jobs observed at each dispatch."""
+        return np.array([r.active_jobs for r in self.records], dtype=np.int64)
+
+
+class ServingSimulator:
+    """Simulates co-located model instances on one server socket.
+
+    Args:
+        server: server generation.
+        config: the model each instance serves.
+        batch_size: items per inference.
+        num_instances: co-located replicas (one per physical core, as in the
+            paper's experiments).
+        per_instance_qps: open-loop Poisson arrival rate per instance;
+            ``None`` runs closed-loop (every instance always busy).
+        hyperthreading: two instances per physical core.
+        seed: RNG seed.
+    """
+
+    def __init__(
+        self,
+        server: ServerSpec,
+        config: ModelConfig,
+        batch_size: int,
+        num_instances: int,
+        per_instance_qps: float | None = None,
+        hyperthreading: bool = False,
+        seed: int = 0,
+    ) -> None:
+        if num_instances < 1:
+            raise ValueError("need at least one instance")
+        if per_instance_qps is not None and per_instance_qps <= 0:
+            raise ValueError("per_instance_qps must be positive")
+        self.server = server
+        self.config = config
+        self.batch_size = batch_size
+        self.num_instances = num_instances
+        self.per_instance_qps = per_instance_qps
+        self.hyperthreading = hyperthreading
+        self.timing = TimingModel(server)
+        self._rng = np.random.default_rng(seed)
+        self._resident = self.timing.resident_bytes(config)
+        self._traffic = self.timing.estimate_random_traffic_gbps(config, batch_size)
+
+    # ------------------------------------------------------------- services
+
+    def state_for(self, active_jobs: int) -> ColocationState:
+        """Contention state when ``active_jobs`` instances are running."""
+        return ColocationState(
+            num_jobs=max(1, active_jobs),
+            hyperthreading=self.hyperthreading,
+            resident_bytes_per_job=self._resident,
+            corunner_random_gbps=self._traffic,
+        )
+
+    @lru_cache(maxsize=None)
+    def _base_latency(self, active_jobs: int) -> ModelLatency:
+        return self.timing.model_latency(
+            self.config, self.batch_size, self.state_for(active_jobs)
+        )
+
+    def noise_sigma(self, active_jobs: int) -> float:
+        """Lognormal sigma of the service-time noise at a contention level."""
+        churn = self.timing.contention.llc_churn(self.state_for(active_jobs))
+        per_churn = (
+            CONTENTION_NOISE_INCLUSIVE
+            if self.server.inclusive_llc
+            else CONTENTION_NOISE_EXCLUSIVE
+        )
+        return BASE_NOISE_SIGMA + per_churn * churn
+
+    def sample_service_s(self, active_jobs: int, rng: np.random.Generator) -> float:
+        """Draw one noisy service time at the given active count."""
+        base = self._base_latency(active_jobs).total_seconds
+        sigma = self.noise_sigma(active_jobs)
+        return base * float(rng.lognormal(mean=-0.5 * sigma**2, sigma=sigma))
+
+    # ------------------------------------------------------------------ run
+
+    def run(self, duration_s: float = 1.0) -> SimulationResult:
+        """Simulate ``duration_s`` of serving; returns completed inferences."""
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        rng = self._rng
+        # Per-instance FIFO: next arrival stream.
+        arrivals: list[list[float]] = []
+        for i in range(self.num_instances):
+            if self.per_instance_qps is None:
+                arrivals.append([float(rng.uniform(0, 1e-4))])
+            else:
+                times = []
+                t = 0.0
+                while True:
+                    t += float(rng.exponential(1.0 / self.per_instance_qps))
+                    if t >= duration_s:
+                        break
+                    times.append(t)
+                arrivals.append(times)
+
+        # Event queue holds (time, seq, kind, instance); kinds: 0 arrival,
+        # 1 completion.
+        events: list[tuple[float, int, int, int]] = []
+        seq = 0
+        for i, times in enumerate(arrivals):
+            for t in times:
+                heapq.heappush(events, (t, seq, 0, i))
+                seq += 1
+
+        busy = [False] * self.num_instances
+        queues: list[list[float]] = [[] for _ in range(self.num_instances)]
+        current: list[InferenceRecord | None] = [None] * self.num_instances
+        records: list[InferenceRecord] = []
+
+        def dispatch(instance: int, arrival: float, now: float) -> None:
+            nonlocal seq
+            active = sum(busy) + 1
+            service = self.sample_service_s(active, rng)
+            busy[instance] = True
+            current[instance] = InferenceRecord(
+                instance_id=instance,
+                arrival_s=arrival,
+                start_s=now,
+                end_s=now + service,
+                active_jobs=active,
+                service_s=service,
+            )
+            heapq.heappush(events, (now + service, seq, 1, instance))
+            seq += 1
+
+        while events:
+            now, _, kind, instance = heapq.heappop(events)
+            if now >= duration_s and kind == 0:
+                continue
+            if kind == 0:  # arrival
+                if busy[instance]:
+                    queues[instance].append(now)
+                else:
+                    dispatch(instance, now, now)
+            else:  # completion
+                record = current[instance]
+                assert record is not None
+                records.append(record)
+                busy[instance] = False
+                current[instance] = None
+                if now >= duration_s:
+                    continue
+                if queues[instance]:
+                    arrival = queues[instance].pop(0)
+                    dispatch(instance, arrival, now)
+                elif self.per_instance_qps is None:
+                    dispatch(instance, now, now)  # closed loop re-issue
+
+        return SimulationResult(
+            server_name=self.server.name,
+            model_name=self.config.name,
+            batch_size=self.batch_size,
+            num_instances=self.num_instances,
+            duration_s=duration_s,
+            records=records,
+        )
+
+    # --------------------------------------------------- operator-level view
+
+    def fc_latency_samples(
+        self,
+        result: SimulationResult,
+        input_dim: int,
+        output_dim: int,
+        fc_batch: int = 1,
+    ) -> np.ndarray:
+        """Latency samples of a standalone FC operator co-located with the
+        simulated workload (the Figure 11 measurement).
+
+        For each dispatch in ``result``, the FC runs under that dispatch's
+        contention state; per-sample noise follows the same model as whole
+        inferences.
+        """
+        weight_bytes = (input_dim * output_dim + output_dim) * 4
+        act_bytes = fc_batch * (input_dim + output_dim) * 4
+        flops = 2 * fc_batch * input_dim * output_dim
+        samples = np.empty(len(result.records), dtype=np.float64)
+        rng = np.random.default_rng(hash((input_dim, output_dim)) % (2**32))
+        base_cache: dict[int, float] = {}
+        for i, record in enumerate(result.records):
+            active = record.active_jobs
+            if active not in base_cache:
+                base_cache[active] = self.timing.fc_time(
+                    "fc-probe",
+                    flops=flops,
+                    weight_bytes=weight_bytes,
+                    activation_bytes=act_bytes,
+                    batch=fc_batch,
+                    state=self.state_for(active),
+                ).seconds
+            sigma = self.noise_sigma(active)
+            samples[i] = base_cache[active] * float(
+                rng.lognormal(mean=-0.5 * sigma**2, sigma=sigma)
+            )
+        return samples

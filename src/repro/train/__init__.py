@@ -1,0 +1,22 @@
+"""Training substrate: losses, metrics, manual backward, SGD trainer."""
+
+from .losses import bce_with_logits, bce_with_logits_grad
+from .metrics import log_loss, roc_auc
+from .optimizers import Adagrad, MomentumSGD, Optimizer, SGD
+from .trainable import Gradients, TrainableDLRM
+from .trainer import Trainer, TrainingReport
+
+__all__ = [
+    "bce_with_logits",
+    "bce_with_logits_grad",
+    "log_loss",
+    "roc_auc",
+    "Adagrad",
+    "MomentumSGD",
+    "Optimizer",
+    "SGD",
+    "Gradients",
+    "TrainableDLRM",
+    "Trainer",
+    "TrainingReport",
+]

@@ -1,0 +1,42 @@
+"""Loss functions for CTR training.
+
+CTR prediction is binary classification; the standard objective is binary
+cross-entropy on the logit (the value *before* the final sigmoid), which
+is numerically stable and has the famously simple gradient
+``sigmoid(logit) - label``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x, dtype=np.float64)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+def bce_with_logits(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Mean binary cross-entropy computed stably from logits."""
+    logits = np.asarray(logits, dtype=np.float64).reshape(-1)
+    labels = np.asarray(labels, dtype=np.float64).reshape(-1)
+    if logits.shape != labels.shape:
+        raise ValueError("logits and labels must have the same length")
+    if logits.size == 0:
+        raise ValueError("need at least one sample")
+    # log(1 + exp(-|x|)) + max(x, 0) - x * y
+    losses = np.log1p(np.exp(-np.abs(logits))) + np.maximum(logits, 0) - logits * labels
+    return float(losses.mean())
+
+
+def bce_with_logits_grad(logits: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """d(mean BCE)/d(logits) = (sigmoid(logits) - labels) / N."""
+    logits = np.asarray(logits, dtype=np.float64).reshape(-1)
+    labels = np.asarray(labels, dtype=np.float64).reshape(-1)
+    if logits.shape != labels.shape:
+        raise ValueError("logits and labels must have the same length")
+    return ((_sigmoid(logits) - labels) / logits.size).astype(np.float32)

@@ -1,0 +1,47 @@
+"""Evaluation metrics for CTR models: log-loss and ROC-AUC."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .losses import bce_with_logits
+
+
+def log_loss(probabilities: np.ndarray, labels: np.ndarray, eps: float = 1e-7) -> float:
+    """Mean negative log-likelihood of probabilistic CTR predictions."""
+    p = np.clip(np.asarray(probabilities, dtype=np.float64).reshape(-1), eps, 1 - eps)
+    y = np.asarray(labels, dtype=np.float64).reshape(-1)
+    if p.shape != y.shape or p.size == 0:
+        raise ValueError("probabilities and labels must be equal-length, non-empty")
+    return float(-(y * np.log(p) + (1 - y) * np.log(1 - p)).mean())
+
+
+def roc_auc(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Area under the ROC curve via the rank-sum (Mann-Whitney) statistic.
+
+    Handles tied scores by mid-ranking. Requires both classes present.
+    """
+    s = np.asarray(scores, dtype=np.float64).reshape(-1)
+    y = np.asarray(labels).reshape(-1).astype(bool)
+    if s.shape != y.shape or s.size == 0:
+        raise ValueError("scores and labels must be equal-length, non-empty")
+    positives = int(y.sum())
+    negatives = int(y.size - positives)
+    if positives == 0 or negatives == 0:
+        raise ValueError("AUC needs both positive and negative samples")
+    order = np.argsort(s, kind="mergesort")
+    ranks = np.empty(s.size, dtype=np.float64)
+    sorted_scores = s[order]
+    i = 0
+    while i < s.size:
+        j = i
+        while j + 1 < s.size and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[order[i : j + 1]] = 0.5 * (i + j) + 1.0  # mid-rank, 1-based
+        i = j + 1
+    positive_rank_sum = float(ranks[y].sum())
+    u = positive_rank_sum - positives * (positives + 1) / 2.0
+    return u / (positives * negatives)
+
+
+__all__ = ["bce_with_logits", "log_loss", "roc_auc"]

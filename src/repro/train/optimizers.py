@@ -1,0 +1,133 @@
+"""Optimizers for DLRM training: SGD, momentum, and Adagrad.
+
+Adagrad is the production standard for embedding tables (DLRM's default):
+its per-parameter learning rates handle the wildly different update
+frequencies of hot and cold rows, and its state for embeddings is kept
+*sparse* — only touched rows carry accumulator entries — which is what
+makes it affordable on multi-GB tables.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..core.model import RecommendationModel
+from ..core.operators import FullyConnected
+from .trainable import Gradients
+
+
+class Optimizer(abc.ABC):
+    """Applies :class:`~repro.train.trainable.Gradients` to a model."""
+
+    def __init__(self, lr: float) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+
+    @abc.abstractmethod
+    def apply(self, model: RecommendationModel, grads: Gradients) -> None:
+        """One in-place parameter update."""
+
+    def _fc_ops(self, model: RecommendationModel) -> dict[str, FullyConnected]:
+        return {
+            op.name: op
+            for op in model.operators()
+            if isinstance(op, FullyConnected)
+        }
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent (sparse embedding updates)."""
+
+    def apply(self, model: RecommendationModel, grads: Gradients) -> None:
+        fc_ops = self._fc_ops(model)
+        for name, (d_w, d_b) in grads.fc.items():
+            op = fc_ops[name]
+            op.weight -= self.lr * d_w.astype(np.float32)
+            op.bias -= self.lr * d_b.astype(np.float32)
+        for i, (rows, grad_rows) in grads.tables.items():
+            model.tables[i].data[rows] -= self.lr * grad_rows
+
+
+class MomentumSGD(Optimizer):
+    """SGD with heavy-ball momentum on the dense (FC) parameters.
+
+    Embedding rows update without momentum: keeping velocity for billions
+    of rarely-touched rows would defeat the sparse-update economics.
+    """
+
+    def __init__(self, lr: float, momentum: float = 0.9) -> None:
+        super().__init__(lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self._velocity: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+
+    def apply(self, model: RecommendationModel, grads: Gradients) -> None:
+        fc_ops = self._fc_ops(model)
+        for name, (d_w, d_b) in grads.fc.items():
+            op = fc_ops[name]
+            if name not in self._velocity:
+                self._velocity[name] = (
+                    np.zeros_like(op.weight),
+                    np.zeros_like(op.bias),
+                )
+            v_w, v_b = self._velocity[name]
+            v_w *= self.momentum
+            v_w += d_w.astype(np.float32)
+            v_b *= self.momentum
+            v_b += d_b.astype(np.float32)
+            op.weight -= self.lr * v_w
+            op.bias -= self.lr * v_b
+        for i, (rows, grad_rows) in grads.tables.items():
+            model.tables[i].data[rows] -= self.lr * grad_rows
+
+
+class Adagrad(Optimizer):
+    """Adagrad with sparse per-row accumulators for embeddings.
+
+    Update: ``p -= lr * g / (sqrt(G) + eps)`` where ``G`` accumulates
+    squared gradients. Embedding accumulators are row-granular (one scalar
+    per row, DLRM-style), created lazily on first touch.
+    """
+
+    def __init__(self, lr: float, eps: float = 1e-8) -> None:
+        super().__init__(lr)
+        if eps <= 0:
+            raise ValueError("eps must be positive")
+        self.eps = eps
+        self._fc_state: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        self._table_state: dict[int, dict[int, float]] = {}
+
+    def apply(self, model: RecommendationModel, grads: Gradients) -> None:
+        fc_ops = self._fc_ops(model)
+        for name, (d_w, d_b) in grads.fc.items():
+            op = fc_ops[name]
+            if name not in self._fc_state:
+                self._fc_state[name] = (
+                    np.zeros_like(op.weight),
+                    np.zeros_like(op.bias),
+                )
+            g_w, g_b = self._fc_state[name]
+            d_w32 = d_w.astype(np.float32)
+            d_b32 = d_b.astype(np.float32)
+            g_w += d_w32**2
+            g_b += d_b32**2
+            op.weight -= self.lr * d_w32 / (np.sqrt(g_w) + self.eps)
+            op.bias -= self.lr * d_b32 / (np.sqrt(g_b) + self.eps)
+
+        for i, (rows, grad_rows) in grads.tables.items():
+            state = self._table_state.setdefault(i, {})
+            table = model.tables[i].data
+            row_sq = (grad_rows**2).mean(axis=1)  # row-granular accumulator
+            for k, row in enumerate(rows):
+                row = int(row)
+                state[row] = state.get(row, 0.0) + float(row_sq[k])
+                scale = self.lr / (np.sqrt(state[row]) + self.eps)
+                table[row] -= scale * grad_rows[k]
+
+    def touched_rows(self, table_index: int) -> int:
+        """Accumulator entries for one table (sparse-state footprint)."""
+        return len(self._table_state.get(table_index, {}))

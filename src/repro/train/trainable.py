@@ -1,0 +1,200 @@
+"""Trainable DLRM: manual forward caching + backward + SGD.
+
+Training makes the library a complete DLRM implementation rather than an
+inference-only artifact. Gradients are derived by hand per operator (the
+model is a short, fixed pipeline, so full autograd machinery would be
+overkill):
+
+* FC: ``dX = dY W^T``, ``dW = X^T dY``, ``db = sum(dY)``
+* ReLU: ``dX = dY * (Z > 0)``
+* Concat: split the gradient at the feature boundaries
+* SLS: scatter-add — each looked-up row receives its sample's gradient
+  (the sparse update that makes embedding training tractable: only touched
+  rows move)
+* Dot interaction: for ``G = T T^T`` (lower triangle kept),
+  ``dT = (dG + dG^T) T`` with ``dG`` scattered back into the triangle.
+
+The final sigmoid is folded into the loss
+(:func:`repro.train.losses.bce_with_logits`), so training operates on
+logits; inference-time probabilities come from the wrapped
+:class:`~repro.core.model.RecommendationModel` unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.model import RecommendationModel
+from ..core.operators import Activation, FullyConnected, SparseBatch
+from .losses import bce_with_logits, bce_with_logits_grad
+
+
+@dataclass
+class Gradients:
+    """Gradients of one minibatch.
+
+    Attributes:
+        fc: per-FC-operator (dW, db), keyed by operator name.
+        tables: per-table sparse gradients as (unique_rows, grad_rows),
+            keyed by table index.
+    """
+
+    fc: dict[str, tuple[np.ndarray, np.ndarray]] = field(default_factory=dict)
+    tables: dict[int, tuple[np.ndarray, np.ndarray]] = field(default_factory=dict)
+
+
+class TrainableDLRM:
+    """Wraps a :class:`RecommendationModel` with training support.
+
+    The wrapped model's parameters are updated in place, so the same object
+    serves for inference after (or during) training.
+    """
+
+    def __init__(self, model: RecommendationModel) -> None:
+        self.model = model
+        final = model.top_ops[-1]
+        if not (isinstance(final, Activation) and final.kind == "sigmoid"):
+            raise ValueError(
+                "training expects a CTR model whose Top-MLP ends in a sigmoid"
+            )
+
+    # ---------------------------------------------------------------- forward
+
+    def forward_logits(
+        self, dense: np.ndarray, sparse: list[SparseBatch]
+    ) -> tuple[np.ndarray, dict]:
+        """Forward pass returning logits and the cache backward() needs."""
+        model = self.model
+        cache: dict = {"sparse": sparse}
+        x = dense.astype(np.float32, copy=False)
+        cache["bottom"] = []
+        for op in model.bottom_ops:
+            cache["bottom"].append((op, x))
+            x = op.forward(x)
+
+        pooled = [sls.forward(sp) for sls, sp in zip(model.sls_ops, sparse)]
+        cache["bottom_out"] = x
+        cache["pooled"] = pooled
+
+        if model.interaction_op is not None:
+            stacked = np.stack([x, *pooled], axis=1)
+            cache["stacked"] = stacked
+            interactions = model.interaction_op.forward(stacked)
+            combined = np.concatenate([x, interactions], axis=1)
+        else:
+            combined = np.concatenate([x, *pooled], axis=1)
+
+        y = combined
+        cache["top"] = []
+        for op in model.top_ops[:-1]:  # exclude the final sigmoid
+            cache["top"].append((op, y))
+            y = op.forward(y)
+        return y.reshape(-1), cache
+
+    # --------------------------------------------------------------- backward
+
+    def backward(self, dlogits: np.ndarray, cache: dict) -> Gradients:
+        """Backpropagate d(loss)/d(logits) through the cached forward."""
+        model = self.model
+        grads = Gradients()
+        grad = dlogits.reshape(-1, 1).astype(np.float32)
+
+        for op, op_input in reversed(cache["top"]):
+            grad = self._op_backward(op, op_input, grad, grads)
+
+        bottom_out = cache["bottom_out"]
+        dense_dim = bottom_out.shape[1]
+        if model.interaction_op is not None:
+            d_dense_direct = grad[:, :dense_dim]
+            d_inter = grad[:, dense_dim:]
+            d_stacked = self._dot_backward(model.interaction_op, cache["stacked"], d_inter)
+            d_dense = d_dense_direct + d_stacked[:, 0, :]
+            d_pooled = [d_stacked[:, 1 + i, :] for i in range(len(model.sls_ops))]
+        else:
+            d_dense = grad[:, :dense_dim]
+            d_pooled = []
+            offset = dense_dim
+            for sls in model.sls_ops:
+                d_pooled.append(grad[:, offset : offset + sls.table.dim])
+                offset += sls.table.dim
+
+        for i, (sls, sp, d_out) in enumerate(
+            zip(model.sls_ops, cache["sparse"], d_pooled)
+        ):
+            grads.tables[i] = self._sls_backward(sp, d_out)
+
+        grad = d_dense
+        for op, op_input in reversed(cache["bottom"]):
+            grad = self._op_backward(op, op_input, grad, grads)
+        return grads
+
+    def _op_backward(self, op, op_input, grad, grads: Gradients):
+        if isinstance(op, FullyConnected):
+            d_w = op_input.T @ grad
+            d_b = grad.sum(axis=0)
+            grads.fc[op.name] = (d_w, d_b)
+            return grad @ op.weight.T
+        if isinstance(op, Activation):
+            if op.kind == "relu":
+                return grad * (op.forward(op_input) > 0)
+            raise ValueError(f"unexpected activation {op.kind!r} mid-network")
+        raise ValueError(f"no backward rule for {type(op).__name__}")
+
+    @staticmethod
+    def _sls_backward(batch: SparseBatch, d_out: np.ndarray):
+        segment = np.repeat(np.arange(batch.batch_size), batch.lengths)
+        per_lookup = d_out[segment]  # each looked-up row gets its sample grad
+        unique_rows, inverse = np.unique(batch.ids, return_inverse=True)
+        grad_rows = np.zeros((unique_rows.size, d_out.shape[1]), dtype=np.float32)
+        np.add.at(grad_rows, inverse, per_lookup)
+        return unique_rows, grad_rows
+
+    @staticmethod
+    def _dot_backward(interaction, stacked: np.ndarray, d_pairs: np.ndarray):
+        batch = stacked.shape[0]
+        v = interaction.num_vectors
+        lower_i, lower_j = np.tril_indices(v, k=-1)
+        d_gram = np.zeros((batch, v, v), dtype=np.float32)
+        d_gram[:, lower_i, lower_j] = d_pairs
+        sym = d_gram + np.transpose(d_gram, (0, 2, 1))
+        return np.matmul(sym, stacked)
+
+    # ------------------------------------------------------------------- sgd
+
+    def apply_sgd(self, grads: Gradients, lr: float) -> None:
+        """In-place SGD step (sparse updates for embedding rows)."""
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        fc_ops = {
+            op.name: op
+            for op in self.model.operators()
+            if isinstance(op, FullyConnected)
+        }
+        for name, (d_w, d_b) in grads.fc.items():
+            op = fc_ops[name]
+            op.weight -= lr * d_w.astype(np.float32)
+            op.bias -= lr * d_b.astype(np.float32)
+        for i, (rows, grad_rows) in grads.tables.items():
+            self.model.tables[i].data[rows] -= lr * grad_rows
+
+    # ------------------------------------------------------------------ step
+
+    def train_step(
+        self,
+        dense: np.ndarray,
+        sparse: list[SparseBatch],
+        labels: np.ndarray,
+        lr: float,
+    ) -> float:
+        """One SGD minibatch step; returns the batch BCE loss."""
+        logits, cache = self.forward_logits(dense, sparse)
+        loss = bce_with_logits(logits, labels)
+        grads = self.backward(bce_with_logits_grad(logits, labels), cache)
+        self.apply_sgd(grads, lr)
+        return loss
+
+    def predict(self, dense: np.ndarray, sparse: list[SparseBatch]) -> np.ndarray:
+        """CTR probabilities from the (trained) wrapped model."""
+        return self.model.forward(dense, sparse)

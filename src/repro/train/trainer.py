@@ -1,0 +1,96 @@
+"""Minibatch SGD training loop for DLRM models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.synthetic_ctr import SyntheticCtrDataset
+from .losses import bce_with_logits, bce_with_logits_grad
+from .metrics import log_loss, roc_auc
+from .optimizers import Optimizer, SGD
+from .trainable import TrainableDLRM
+
+
+@dataclass(frozen=True)
+class TrainingReport:
+    """Summary of one training run."""
+
+    steps: int
+    batch_size: int
+    losses: tuple[float, ...]
+    eval_log_loss: float
+    eval_auc: float
+
+    @property
+    def initial_loss(self) -> float:
+        """Mean loss over the first tenth of training."""
+        head = max(1, len(self.losses) // 10)
+        return float(np.mean(self.losses[:head]))
+
+    @property
+    def final_loss(self) -> float:
+        """Mean loss over the last tenth of training."""
+        tail = max(1, len(self.losses) // 10)
+        return float(np.mean(self.losses[-tail:]))
+
+
+class Trainer:
+    """Trains a :class:`TrainableDLRM` on a synthetic CTR stream.
+
+    Args:
+        trainable: the model under training.
+        dataset: labelled batch source.
+        lr: learning rate for the default SGD optimizer.
+        optimizer: update rule; defaults to :class:`~repro.train.optimizers.SGD`
+            at ``lr`` (pass :class:`~repro.train.optimizers.Adagrad` for the
+            production-style rule).
+    """
+
+    def __init__(
+        self,
+        trainable: TrainableDLRM,
+        dataset: SyntheticCtrDataset,
+        lr: float = 0.1,
+        optimizer: Optimizer | None = None,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.trainable = trainable
+        self.dataset = dataset
+        self.lr = lr
+        self.optimizer = optimizer or SGD(lr)
+
+    def fit(
+        self,
+        steps: int,
+        batch_size: int = 128,
+        eval_samples: int = 2048,
+    ) -> TrainingReport:
+        """Run ``steps`` SGD steps, then evaluate on held-out samples."""
+        if steps < 1:
+            raise ValueError("steps must be positive")
+        losses = []
+        for _ in range(steps):
+            batch = self.dataset.batch(batch_size)
+            logits, cache = self.trainable.forward_logits(batch.dense, batch.sparse)
+            losses.append(bce_with_logits(logits, batch.labels))
+            grads = self.trainable.backward(
+                bce_with_logits_grad(logits, batch.labels), cache
+            )
+            self.optimizer.apply(self.trainable.model, grads)
+        eval_loss, eval_auc = self.evaluate(eval_samples)
+        return TrainingReport(
+            steps=steps,
+            batch_size=batch_size,
+            losses=tuple(losses),
+            eval_log_loss=eval_loss,
+            eval_auc=eval_auc,
+        )
+
+    def evaluate(self, samples: int = 2048) -> tuple[float, float]:
+        """Held-out log-loss and AUC."""
+        batch = self.dataset.batch(samples)
+        probs = self.trainable.predict(batch.dense, batch.sparse)
+        return log_loss(probs, batch.labels), roc_auc(probs, batch.labels)

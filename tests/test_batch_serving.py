@@ -1,0 +1,82 @@
+"""Tests for the batched-serving simulation."""
+
+import pytest
+
+from repro.config import RMC1_SMALL, RMC3_SMALL
+from repro.hw import BROADWELL, SKYLAKE
+from repro.serving import (
+    BatchedServer,
+    SLA,
+    batching_sweep,
+    best_max_batch,
+)
+
+
+class TestBatchedServer:
+    def test_all_queries_served(self):
+        server = BatchedServer(BROADWELL, RMC1_SMALL, max_batch=16)
+        result = server.simulate(offered_qps=2000, duration_s=0.5, seed=1)
+        assert result.items_served == len(result.query_latencies_s)
+        assert result.items_served > 500
+
+    def test_latencies_positive(self):
+        server = BatchedServer(BROADWELL, RMC1_SMALL, max_batch=16)
+        result = server.simulate(offered_qps=1000, duration_s=0.3)
+        assert result.query_latencies_s.min() > 0
+
+    def test_batching_amortizes_throughput(self):
+        """Bigger batches raise sustainable throughput (Figure 8's point)."""
+        def utilized(max_batch):
+            server = BatchedServer(
+                BROADWELL, RMC3_SMALL, max_batch=max_batch, max_wait_s=0.005
+            )
+            result = server.simulate(offered_qps=3000, duration_s=0.4, seed=2)
+            return result.summary().p99
+
+        assert utilized(64) < utilized(1)
+
+    def test_mean_batch_bounded(self):
+        server = BatchedServer(BROADWELL, RMC1_SMALL, max_batch=8)
+        result = server.simulate(offered_qps=5000, duration_s=0.2)
+        assert 1 <= result.mean_batch_size <= 8
+
+    def test_reproducible(self):
+        server = BatchedServer(BROADWELL, RMC1_SMALL, max_batch=8)
+        a = server.simulate(offered_qps=500, duration_s=0.3, seed=4)
+        b = server.simulate(offered_qps=500, duration_s=0.3, seed=4)
+        assert (a.query_latencies_s == b.query_latencies_s).all()
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            BatchedServer(BROADWELL, RMC1_SMALL, max_batch=0)
+        server = BatchedServer(BROADWELL, RMC1_SMALL)
+        with pytest.raises(ValueError):
+            server.simulate(offered_qps=0)
+
+
+class TestBatchingSweep:
+    def test_best_max_batch_meets_sla(self):
+        sla = SLA(deadline_s=0.020)
+        results = batching_sweep(
+            SKYLAKE, RMC3_SMALL, offered_qps=2000,
+            max_batches=[1, 8, 32, 128], sla=sla, duration_s=0.4,
+        )
+        best = best_max_batch(results, sla)
+        assert best is not None
+        assert best.meets(sla)
+
+    def test_none_when_overloaded(self):
+        sla = SLA(deadline_s=1e-5)
+        results = batching_sweep(
+            BROADWELL, RMC3_SMALL, offered_qps=5000,
+            max_batches=[1, 32], sla=sla, duration_s=0.2,
+        )
+        assert best_max_batch(results, sla) is None
+
+    def test_sweep_returns_one_result_per_batch_limit(self):
+        sla = SLA(deadline_s=0.1)
+        results = batching_sweep(
+            BROADWELL, RMC1_SMALL, offered_qps=1000,
+            max_batches=[1, 4, 16], sla=sla, duration_s=0.2,
+        )
+        assert [r.max_batch for r in results] == [1, 4, 16]

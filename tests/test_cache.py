@@ -1,0 +1,116 @@
+"""Tests for the set-associative cache, including LRU property tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.cache import SetAssociativeCache
+
+
+def make_cache(size=1024, assoc=2, line=64):
+    return SetAssociativeCache("t", size, assoc, line)
+
+
+class TestBasics:
+    def test_geometry(self):
+        cache = make_cache(size=8192, assoc=4, line=64)
+        assert cache.num_sets == 8192 // 64 // 4
+
+    def test_rejects_non_divisible_geometry(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache("t", 100, 3, 64)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache("t", 0, 1, 64)
+
+    def test_miss_then_hit(self):
+        cache = make_cache()
+        assert not cache.touch(5)
+        cache.insert(5)
+        assert cache.touch(5)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_lines_spanned(self):
+        cache = make_cache()
+        assert list(cache.lines_spanned(0, 64)) == [0]
+        assert list(cache.lines_spanned(0, 65)) == [0, 1]
+        assert list(cache.lines_spanned(63, 2)) == [0, 1]
+        assert list(cache.lines_spanned(128, 0)) == [2]
+
+    def test_lru_eviction_order(self):
+        cache = make_cache(size=128, assoc=2, line=64)  # 1 set, 2 ways
+        cache.insert(0)
+        cache.insert(1)
+        cache.touch(0)  # 0 becomes MRU
+        victim = cache.insert(2)
+        assert victim == 1
+
+    def test_invalidate(self):
+        cache = make_cache()
+        cache.insert(7)
+        assert cache.invalidate(7)
+        assert not cache.touch(7)
+        assert not cache.invalidate(7)
+
+    def test_insert_existing_no_eviction(self):
+        cache = make_cache(size=128, assoc=2, line=64)
+        cache.insert(0)
+        assert cache.insert(0) is None
+        assert cache.resident_lines() == 1
+
+    def test_reset_stats_keeps_contents(self):
+        cache = make_cache()
+        cache.insert(3)
+        cache.touch(3)
+        cache.reset_stats()
+        assert cache.stats.hits == 0
+        assert cache.probe(3)
+
+    def test_miss_ratio(self):
+        cache = make_cache()
+        cache.touch(1)
+        cache.insert(1)
+        cache.touch(1)
+        assert cache.stats.miss_ratio == pytest.approx(0.5)
+
+    def test_miss_ratio_untouched(self):
+        assert make_cache().stats.miss_ratio == 0.0
+
+
+class TestLruProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=63), max_size=200))
+    def test_capacity_never_exceeded(self, lines):
+        cache = make_cache(size=512, assoc=2, line=64)
+        for line in lines:
+            if not cache.touch(line):
+                cache.insert(line)
+        assert cache.resident_lines() <= 512 // 64
+        for s in cache._sets:
+            assert len(s) <= 2
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=31), min_size=1, max_size=100))
+    def test_most_recent_line_always_resident(self, lines):
+        cache = make_cache(size=512, assoc=2, line=64)
+        for line in lines:
+            if not cache.touch(line):
+                cache.insert(line)
+        assert cache.probe(lines[-1])
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=7), max_size=80))
+    def test_working_set_within_capacity_all_hits_after_warmup(self, lines):
+        """Touching <= capacity distinct lines in one set region never
+        evicts: every re-reference hits."""
+        cache = make_cache(size=1024, assoc=16, line=64)  # 1 set, 16 ways
+        seen = set()
+        for line in lines:
+            hit = cache.touch(line)
+            if line in seen:
+                assert hit
+            else:
+                assert not hit
+                cache.insert(line)
+                seen.add(line)

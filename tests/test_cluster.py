@@ -1,0 +1,112 @@
+"""Tests for cluster-level heterogeneous scheduling."""
+
+import pytest
+
+from repro.config import RMC1_SMALL, RMC2_SMALL, RMC3_SMALL
+from repro.hw import BROADWELL, HASWELL, SKYLAKE
+from repro.serving import SLA
+from repro.serving.cluster import (
+    MachinePool,
+    WorkloadDemand,
+    aware_capacity,
+    blind_capacity,
+    heterogeneity_gain,
+)
+
+
+@pytest.fixture(scope="module")
+def pools():
+    return [
+        MachinePool(HASWELL, 10),
+        MachinePool(BROADWELL, 10),
+        MachinePool(SKYLAKE, 10),
+    ]
+
+
+@pytest.fixture(scope="module")
+def demands():
+    return [
+        WorkloadDemand(RMC1_SMALL, batch_size=4, sla=SLA(0.001), weight=0.4),
+        WorkloadDemand(RMC2_SMALL, batch_size=32, sla=SLA(0.050), weight=0.4),
+        WorkloadDemand(RMC3_SMALL, batch_size=32, sla=SLA(0.050), weight=0.2),
+    ]
+
+
+class TestBlind:
+    def test_positive_scale(self, pools, demands):
+        plan = blind_capacity(pools, demands)
+        assert plan.served_scale > 0
+
+    def test_assignment_is_the_mix(self, pools, demands):
+        plan = blind_capacity(pools, demands)
+        for row in plan.assignment:
+            assert sum(row) == pytest.approx(1.0)
+            assert row[0] == pytest.approx(0.4)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            blind_capacity([], [])
+
+
+class TestAware:
+    def test_beats_or_matches_blind(self, pools, demands):
+        gain = heterogeneity_gain(pools, demands)
+        assert gain >= 1.0 - 1e-6
+
+    def test_strict_gain_on_mixed_demand(self, pools, demands):
+        """With diverse demands and diverse machines, awareness must pay."""
+        assert heterogeneity_gain(pools, demands) > 1.05
+
+    def test_pool_budgets_respected(self, pools, demands):
+        plan = aware_capacity(pools, demands)
+        for row in plan.assignment:
+            assert sum(row) <= 1.0 + 1e-6
+
+    def test_demands_served_proportionally(self, pools, demands):
+        from repro.serving.cluster import _normalized_weights, _rate_matrix
+        import numpy as np
+
+        plan = aware_capacity(pools, demands)
+        rates = _rate_matrix(pools, demands)
+        weights = _normalized_weights(demands)
+        counts = np.array([p.count for p in pools], dtype=float)
+        x = np.array(plan.assignment)
+        served = (counts[:, None] * x * rates).sum(axis=0)
+        assert np.all(served + 1e-6 >= plan.served_scale * weights)
+
+    def test_aware_routes_strict_latency_away_from_skylake(self, pools):
+        """A tight low-batch SLA is Broadwell's regime; Skylake machines
+        should carry the throughput-oriented work instead."""
+        demands = [
+            WorkloadDemand(RMC3_SMALL, batch_size=4, sla=SLA(0.0011), weight=0.5),
+            WorkloadDemand(RMC2_SMALL, batch_size=32, sla=SLA(0.050), weight=0.5),
+        ]
+        plan = aware_capacity(pools, demands)
+        skylake_row = plan.assignment[2]
+        # Skylake's time goes predominantly to the RMC2 throughput demand.
+        assert skylake_row[1] > skylake_row[0]
+
+    def test_infeasible_demand_gives_zero_scale(self, pools):
+        impossible = [
+            WorkloadDemand(RMC2_SMALL, batch_size=32, sla=SLA(1e-6), weight=1.0)
+        ]
+        assert aware_capacity(pools, impossible).served_scale == pytest.approx(0.0)
+
+    def test_single_pool_single_demand(self):
+        pools = [MachinePool(BROADWELL, 4)]
+        demands = [
+            WorkloadDemand(RMC1_SMALL, batch_size=16, sla=SLA(0.010), weight=1.0)
+        ]
+        blind = blind_capacity(pools, demands).served_scale
+        aware = aware_capacity(pools, demands).served_scale
+        assert aware == pytest.approx(blind, rel=0.01)
+
+
+class TestValidation:
+    def test_pool_rejects_zero_machines(self):
+        with pytest.raises(ValueError):
+            MachinePool(BROADWELL, 0)
+
+    def test_demand_rejects_zero_weight(self):
+        with pytest.raises(ValueError):
+            WorkloadDemand(RMC1_SMALL, 1, SLA(0.1), weight=0.0)

@@ -1,0 +1,145 @@
+"""Unit tests for repro.config.model_config."""
+
+import pytest
+
+from repro.config import (
+    ConfigError,
+    EmbeddingTableConfig,
+    MLPConfig,
+    ModelConfig,
+    uniform_tables,
+)
+
+
+def make_config(**overrides):
+    defaults = dict(
+        name="test",
+        model_class="RMC1",
+        dense_features=16,
+        bottom_mlp=MLPConfig([32, 16]),
+        embedding_tables=uniform_tables(2, 100, 8, 4),
+        top_mlp=MLPConfig([8, 1], final_activation="sigmoid"),
+    )
+    defaults.update(overrides)
+    return ModelConfig(**defaults)
+
+
+class TestEmbeddingTableConfig:
+    def test_storage_bytes_fp32(self):
+        table = EmbeddingTableConfig(rows=1000, dim=32, lookups_per_sample=4)
+        assert table.storage_bytes() == 1000 * 32 * 4
+
+    def test_storage_bytes_fp16(self):
+        table = EmbeddingTableConfig(rows=1000, dim=32, lookups_per_sample=4)
+        assert table.storage_bytes("fp16") == 1000 * 32 * 2
+
+    def test_bytes_read_per_sample(self):
+        table = EmbeddingTableConfig(rows=1000, dim=32, lookups_per_sample=4)
+        assert table.bytes_read_per_sample() == 4 * 32 * 4
+
+    def test_flops_per_sample(self):
+        table = EmbeddingTableConfig(rows=1000, dim=32, lookups_per_sample=4)
+        assert table.flops_per_sample() == 4 * 32
+
+    @pytest.mark.parametrize("field", ["rows", "dim", "lookups_per_sample"])
+    def test_rejects_non_positive(self, field):
+        kwargs = dict(rows=10, dim=8, lookups_per_sample=2)
+        kwargs[field] = 0
+        with pytest.raises(ConfigError):
+            EmbeddingTableConfig(**kwargs)
+
+
+class TestMLPConfig:
+    def test_depth_and_output_dim(self):
+        mlp = MLPConfig([128, 64, 32])
+        assert mlp.depth == 3
+        assert mlp.output_dim == 32
+
+    def test_parameter_count(self):
+        mlp = MLPConfig([4, 2])
+        # 3*4 + 4 (layer 1) + 4*2 + 2 (layer 2)
+        assert mlp.parameter_count(3) == 16 + 10
+
+    def test_flops_per_sample(self):
+        mlp = MLPConfig([4, 2])
+        assert mlp.flops_per_sample(3) == 2 * (3 * 4 + 4 * 2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            MLPConfig([])
+
+    def test_rejects_bad_activation(self):
+        with pytest.raises(ConfigError):
+            MLPConfig([4], activation="tanh")
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ConfigError):
+            MLPConfig([4, 0])
+
+
+class TestModelConfig:
+    def test_shape_properties(self):
+        config = make_config()
+        assert config.num_tables == 2
+        assert config.embedding_output_dim == 16
+        assert config.top_mlp_input_dim == 16 + 16
+        assert config.total_lookups == 8
+
+    def test_storage_is_embeddings_plus_mlps(self):
+        config = make_config()
+        assert (
+            config.total_storage_bytes()
+            == config.embedding_storage_bytes() + config.mlp_storage_bytes()
+        )
+
+    def test_flops_accounts_all_components(self):
+        config = make_config()
+        expected = (
+            config.bottom_mlp.flops_per_sample(16)
+            + config.top_mlp.flops_per_sample(32)
+            + 2 * 4 * 8
+        )
+        assert config.flops_per_sample() == expected
+
+    def test_operational_intensity_positive(self):
+        assert make_config().operational_intensity() > 0
+
+    def test_rejects_no_tables(self):
+        with pytest.raises(ConfigError):
+            make_config(embedding_tables=())
+
+    def test_rejects_bad_dtype(self):
+        with pytest.raises(ConfigError):
+            make_config(dtype="bf16")
+
+    def test_scaled_shrinks_rows_only(self):
+        config = make_config()
+        scaled = config.scaled(table_rows=0.1)
+        assert all(t.rows == 10 for t in scaled.embedding_tables)
+        assert scaled.flops_per_sample() == config.flops_per_sample()
+        assert scaled.bytes_read_per_sample() == config.bytes_read_per_sample()
+
+    def test_scaled_rejects_non_positive(self):
+        with pytest.raises(ConfigError):
+            make_config().scaled(table_rows=0)
+
+    def test_scaled_never_drops_below_one_row(self):
+        scaled = make_config().scaled(table_rows=1e-9)
+        assert all(t.rows >= 1 for t in scaled.embedding_tables)
+
+    def test_describe_round_trips_key_fields(self):
+        desc = make_config().describe()
+        assert desc["num_tables"] == 2
+        assert desc["bottom_mlp"] == [32, 16]
+        assert desc["flops_per_sample"] == make_config().flops_per_sample()
+
+
+class TestUniformTables:
+    def test_builds_identical_tables(self):
+        tables = uniform_tables(3, 50, 8, 2)
+        assert len(tables) == 3
+        assert all(t.rows == 50 and t.dim == 8 for t in tables)
+
+    def test_rejects_zero_tables(self):
+        with pytest.raises(ConfigError):
+            uniform_tables(0, 50, 8, 2)

@@ -1,0 +1,50 @@
+"""Tests for the configuration-space exploration experiment (Figure 13)."""
+
+import pytest
+
+from repro.experiments import config_space
+
+
+@pytest.fixture(scope="module")
+def result():
+    return config_space.run()
+
+
+class TestSweeps:
+    def test_all_three_sweeps_present(self, result):
+        assert {p.sweep for p in result.points} == {
+            "tables",
+            "lookups",
+            "bottom_width",
+        }
+
+    def test_latency_monotone_in_tables(self, result):
+        latencies = [p.latency_ms for p in result.sweep("tables")]
+        assert latencies == sorted(latencies)
+
+    def test_latency_monotone_in_lookups(self, result):
+        latencies = [p.latency_ms for p in result.sweep("lookups")]
+        assert latencies == sorted(latencies)
+
+    def test_tables_drive_model_into_sls_regime(self, result):
+        """Growing the table count turns an RMC1 into an RMC2 profile."""
+        sweep = result.sweep("tables")
+        assert sweep[-1].sls_share > 0.85
+        assert sweep[-1].sls_share > sweep[0].sls_share
+
+    def test_lookups_cross_fc_to_sls(self, result):
+        """Somewhere along the lookup sweep the dominant operator flips."""
+        dominants = [p.dominant_op for p in result.sweep("lookups")]
+        assert dominants[0] == "FC"
+        assert dominants[-1] == "SLS"
+
+    def test_width_drives_model_into_fc_regime(self, result):
+        """Widening the Bottom-MLP turns an RMC1 into an RMC3 profile."""
+        sweep = result.sweep("bottom_width")
+        assert sweep[-1].fc_share > 0.9
+        assert sweep[-1].dominant_op == "FC"
+
+    def test_render(self, result):
+        text = config_space.render(result)
+        assert "sweep: number of embedding tables" in text
+        assert "sweep: Bottom-MLP width" in text

@@ -1,0 +1,141 @@
+"""Behavioral tests for paths not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    MLPConfig,
+    RMC1_SMALL,
+    RMC2_SMALL,
+    RMC3_SMALL,
+    normalize_table1,
+)
+from repro.core.graph import fc_weight_bytes
+from repro.core.operators.base import Operator, OperatorCost, OP_OTHER
+from repro.data import InputGenerator, ZipfSparseGenerator
+from repro.experiments import fig10_latency_throughput
+from repro.hw.timing import OP_OVERHEAD_S, TimingModel
+from repro.hw import BROADWELL
+from repro.serving import SLA, production_fleet
+
+
+class TestNormalizationOptions:
+    def test_explicit_references(self):
+        rows = normalize_table1(
+            [RMC1_SMALL, RMC3_SMALL],
+            fc_reference=RMC3_SMALL,
+            table_reference=RMC3_SMALL,
+            lookup_reference=RMC1_SMALL,
+        )
+        by_class = {r.model_class: r for r in rows}
+        assert by_class["RMC3"].bottom_fc[-1] == pytest.approx(1.0)
+        assert by_class["RMC1"].lookups == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_table1([])
+
+    def test_fallback_reference_when_class_missing(self):
+        rows = normalize_table1([RMC2_SMALL])
+        assert rows[0].num_tables == pytest.approx(1.0)
+
+
+class TestInputGeneratorCustom:
+    def test_custom_generators_used(self):
+        gens = [
+            ZipfSparseGenerator(t.rows, t.lookups_per_sample, alpha=1.5)
+            for t in RMC1_SMALL.embedding_tables
+        ]
+        generator = InputGenerator(RMC1_SMALL, sparse_generators=gens, seed=3)
+        _, sparse = generator.batch(64)
+        # Zipf skew: a large share of IDs land in the hot head.
+        head_share = np.mean(sparse[0].ids < 100)
+        assert head_share > 0.2
+
+
+class TestFleetViews:
+    def test_combined_view_is_sum_of_splits(self):
+        fleet = production_fleet()
+        combined = fleet.cycles_by_operator(None)
+        rec = fleet.cycles_by_operator(True)
+        non = fleet.cycles_by_operator(False)
+        for op, share in combined.items():
+            assert share == pytest.approx(rec.get(op, 0) + non.get(op, 0))
+
+
+class TestFigure10Helpers:
+    def test_best_respects_sla(self):
+        result = fig10_latency_throughput.run(sla=SLA(0.008), max_jobs=12)
+        best = result.best("Skylake")
+        assert best is not None
+        assert best.latency_s <= 0.008
+
+    def test_best_none_when_impossible(self):
+        result = fig10_latency_throughput.run(sla=SLA(1e-7), max_jobs=4)
+        assert result.best("Broadwell") is None
+
+    def test_unknown_point_raises(self):
+        result = fig10_latency_throughput.run(max_jobs=4)
+        with pytest.raises(KeyError):
+            result.point("Broadwell", 99)
+
+
+class TestGraphHelpers:
+    def test_fc_weight_bytes_matches_mlp_storage(self):
+        assert fc_weight_bytes(RMC1_SMALL) == RMC1_SMALL.mlp_storage_bytes()
+
+
+class TestOperatorBase:
+    def test_unknown_op_type_rejected_by_timing(self):
+        class Weird(Operator):
+            op_type = OP_OTHER
+
+            def forward(self, x):
+                return x
+
+            def cost(self, batch_size):
+                return OperatorCost(1, 1, 1)
+
+        from repro.core.graph import OpSpec
+
+        spec = OpSpec(
+            name="weird",
+            op_type=OP_OTHER,
+            flops_per_sample=1,
+            weight_bytes=0,
+            activation_bytes_per_sample=1,
+        )
+        with pytest.raises(ValueError):
+            TimingModel(BROADWELL).op_time(spec, 1)
+
+    def test_stateless_operator_default_trace(self):
+        class Stateless(Operator):
+            def forward(self, x):
+                return x
+
+            def cost(self, batch_size):
+                return OperatorCost(0, 0, 0)
+
+        assert list(Stateless("s").address_trace(4)) == []
+
+    def test_op_overhead_floor(self):
+        """Even a zero-work FC costs the dispatch overhead."""
+        t = TimingModel(BROADWELL).fc_time("z", 0, 4, 0, batch=1)
+        assert t.seconds >= OP_OVERHEAD_S
+
+
+class TestMlpConfigDetails:
+    def test_final_activation_none_means_activation(self):
+        mlp = MLPConfig([4, 2], activation="relu")
+        assert mlp.final_activation is None
+        from repro.core.graph import _mlp_ops
+
+        ops = _mlp_ops("x", 3, mlp)
+        assert ops[-1].op_type == "Activation"
+
+    def test_activation_none_skips_activations(self):
+        mlp = MLPConfig([4, 2], activation="none")
+        from repro.core.graph import _mlp_ops
+
+        ops = _mlp_ops("x", 3, mlp)
+        assert all(op.op_type == "FC" for op in ops)

@@ -1,0 +1,121 @@
+"""Tests for the Criteo-format data pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import RecommendationModel
+from repro.data.criteo import (
+    CriteoPreprocessor,
+    NUM_CATEGORICAL,
+    NUM_DENSE,
+    criteo_model_config,
+    parse_criteo_line,
+    read_criteo,
+    write_synthetic_criteo,
+)
+from repro.train import TrainableDLRM
+from repro.train.losses import bce_with_logits
+
+
+@pytest.fixture(scope="module")
+def criteo_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("criteo") / "day_0.tsv"
+    write_synthetic_criteo(path, num_records=200, seed=1)
+    return path
+
+
+class TestFormat:
+    def test_write_and_read_round_trip(self, criteo_file):
+        records = read_criteo(criteo_file)
+        assert len(records) == 200
+        for record in records:
+            assert record.label in (0, 1)
+            assert len(record.dense) == NUM_DENSE
+            assert len(record.categorical) == NUM_CATEGORICAL
+
+    def test_missing_fields_become_none(self, criteo_file):
+        records = read_criteo(criteo_file)
+        has_missing_dense = any(None in r.dense for r in records)
+        has_missing_cat = any(None in r.categorical for r in records)
+        assert has_missing_dense and has_missing_cat
+
+    def test_parse_rejects_wrong_arity(self):
+        with pytest.raises(ValueError):
+            parse_criteo_line("1\t2\t3")
+
+    def test_parse_rejects_bad_label(self):
+        fields = ["5"] + ["1"] * NUM_DENSE + ["ab"] * NUM_CATEGORICAL
+        with pytest.raises(ValueError):
+            parse_criteo_line("\t".join(fields))
+
+    def test_click_rate_respected(self, tmp_path):
+        path = tmp_path / "clicks.tsv"
+        write_synthetic_criteo(path, num_records=2000, seed=3, click_rate=0.5)
+        records = read_criteo(path)
+        rate = sum(r.label for r in records) / len(records)
+        assert rate == pytest.approx(0.5, abs=0.05)
+
+
+class TestPreprocessing:
+    @pytest.fixture(scope="class")
+    def prep(self):
+        return CriteoPreprocessor(criteo_model_config(rows_per_table=1000))
+
+    def test_dense_log_transform(self, prep):
+        line = "\t".join(
+            ["1"] + ["99"] * NUM_DENSE + ["deadbeef"] * NUM_CATEGORICAL
+        )
+        dense = prep.dense_matrix([parse_criteo_line(line)])
+        assert dense[0, 0] == pytest.approx(np.log1p(99))
+
+    def test_missing_dense_is_zero(self, prep):
+        line = "\t".join(["0"] + [""] * NUM_DENSE + ["aa"] * NUM_CATEGORICAL)
+        dense = prep.dense_matrix([parse_criteo_line(line)])
+        assert np.all(dense == 0)
+
+    def test_hashing_stable_and_in_domain(self, prep, criteo_file):
+        records = read_criteo(criteo_file)
+        first = prep.sparse_batches(records)
+        second = prep.sparse_batches(records)
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a.ids, b.ids)
+            assert a.ids.min() >= 0
+            assert a.ids.max() < 1000
+
+    def test_rejects_wrong_table_count(self):
+        from repro.config import RMC1_SMALL
+
+        with pytest.raises(ValueError):
+            CriteoPreprocessor(RMC1_SMALL)
+
+    def test_batch_assembles_everything(self, prep, criteo_file):
+        records = read_criteo(criteo_file)[:32]
+        dense, sparse, labels = prep.batch(records)
+        assert dense.shape == (32, NUM_DENSE)
+        assert len(sparse) == NUM_CATEGORICAL
+        assert labels.shape == (32,)
+
+
+class TestEndToEnd:
+    def test_model_runs_and_trains_on_criteo(self, criteo_file):
+        config = criteo_model_config(rows_per_table=1000)
+        model = RecommendationModel(config)
+        prep = CriteoPreprocessor(config)
+        records = read_criteo(criteo_file)
+        dense, sparse, labels = prep.batch(records[:64])
+
+        probs = model.forward(dense, sparse)
+        assert probs.shape == (64,)
+
+        trainable = TrainableDLRM(model)
+        losses = []
+        for _ in range(30):
+            loss = trainable.train_step(dense, sparse, labels, lr=0.2)
+            losses.append(loss)
+        # Overfitting one batch must drive the loss down.
+        assert losses[-1] < losses[0] - 0.05
+
+        logits, _ = trainable.forward_logits(dense, sparse)
+        assert bce_with_logits(logits, labels) == pytest.approx(
+            losses[-1], rel=0.5
+        )

@@ -1,0 +1,107 @@
+"""Tests for the DLRM dot-interaction model variant (BatchMatMul path)."""
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    ConfigError,
+    MLPConfig,
+    ModelConfig,
+    RMC1_DOT,
+    RMC1_SMALL,
+    scaled_for_execution,
+    uniform_tables,
+)
+from repro.core import RecommendationModel
+from repro.core.graph import config_ops
+from repro.data import generate_inputs
+from repro.hw import BROADWELL, TimingModel
+
+
+class TestDotConfig:
+    def test_preset_valid(self):
+        assert RMC1_DOT.interaction == "dot"
+        assert RMC1_DOT.num_interaction_vectors == 3
+
+    def test_top_input_dim_is_pairs_plus_dense(self):
+        v = RMC1_DOT.num_interaction_vectors
+        expected = RMC1_DOT.bottom_mlp.output_dim + v * (v - 1) // 2
+        assert RMC1_DOT.top_mlp_input_dim == expected
+
+    def test_interaction_flops_counted(self):
+        assert RMC1_DOT.interaction_flops_per_sample() > 0
+        assert RMC1_SMALL.interaction_flops_per_sample() == 0
+        assert RMC1_DOT.flops_per_sample() > 0
+
+    def test_rejects_mismatched_dims(self):
+        with pytest.raises(ConfigError):
+            ModelConfig(
+                name="bad",
+                model_class="RMC1",
+                dense_features=8,
+                bottom_mlp=MLPConfig([16]),  # 16 != table dim 8
+                embedding_tables=uniform_tables(2, 100, 8, 2),
+                top_mlp=MLPConfig([4, 1]),
+                interaction="dot",
+            )
+
+    def test_rejects_unknown_interaction(self):
+        with pytest.raises(ConfigError):
+            ModelConfig(
+                name="bad",
+                model_class="RMC1",
+                dense_features=8,
+                bottom_mlp=MLPConfig([8]),
+                embedding_tables=uniform_tables(2, 100, 8, 2),
+                top_mlp=MLPConfig([4, 1]),
+                interaction="sum",
+            )
+
+    def test_scaled_preserves_interaction(self):
+        assert scaled_for_execution(RMC1_DOT, 1000).interaction == "dot"
+
+
+class TestDotExecution:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return RecommendationModel(scaled_for_execution(RMC1_DOT, max_rows=2000))
+
+    def test_forward_produces_probabilities(self, model):
+        dense, sparse = generate_inputs(model.config, 8)
+        out = model.forward(dense, sparse)
+        assert out.shape == (8,)
+        assert np.all((out >= 0) & (out <= 1))
+
+    def test_batchmm_appears_in_profile(self, model):
+        dense, sparse = generate_inputs(model.config, 8)
+        _, profile = model.forward_profiled(dense, sparse)
+        assert "BatchMM" in profile.fraction_by_op_type()
+
+    def test_interaction_output_feeds_top_mlp(self, model):
+        assert model.interaction_op is not None
+        assert (
+            model.concat_op.output_dim
+            == model.config.top_mlp_input_dim
+        )
+
+
+class TestDotGraphAndTiming:
+    def test_graph_contains_batchmm(self):
+        types = [s.op_type for s in config_ops(RMC1_DOT)]
+        assert "BatchMM" in types
+
+    def test_graph_matches_model_operators(self):
+        model = RecommendationModel(scaled_for_execution(RMC1_DOT, max_rows=500))
+        assert [s.name for s in config_ops(RMC1_DOT)] == [
+            op.name for op in model.operators()
+        ]
+
+    def test_timing_model_handles_dot(self):
+        latency = TimingModel(BROADWELL).model_latency(RMC1_DOT, 16)
+        assert latency.total_seconds > 0
+        assert "BatchMM" in latency.seconds_by_op_type()
+
+    def test_fc_plus_batchmm_dominates(self):
+        """The paper's RMC1 statement covers BatchMatMul *or* FC."""
+        frac = TimingModel(BROADWELL).model_latency(RMC1_DOT, 1).fraction_by_op_type()
+        assert frac.get("FC", 0) + frac.get("BatchMM", 0) > 0.5

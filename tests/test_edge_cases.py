@@ -1,0 +1,119 @@
+"""Edge cases and failure injection across subsystems."""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from repro.config import MLPConfig, ModelConfig, RMC2_SMALL, uniform_tables
+from repro.core import Profiler, RecommendationModel
+from repro.core.operators import FullyConnected, relu
+from repro.core.operators.base import MemoryAccess
+from repro.core.workload_stats import resnet50_point, rnn_translation_point
+from repro.data import generate_inputs
+from repro.hw import BROADWELL, CacheHierarchy, ColocationState, TimingModel
+
+
+class TestDegenerateConfigs:
+    def test_single_everything_model(self):
+        """The minimal possible DLRM still runs end to end."""
+        config = ModelConfig(
+            name="min",
+            model_class="RMC1",
+            dense_features=1,
+            bottom_mlp=MLPConfig([1]),
+            embedding_tables=uniform_tables(1, 1, 1, 1),
+            top_mlp=MLPConfig([1], final_activation="sigmoid"),
+        )
+        model = RecommendationModel(config)
+        dense, sparse = generate_inputs(config, 1)
+        out = model.forward(dense, sparse)
+        assert out.shape == (1,)
+        assert TimingModel(BROADWELL).model_latency(config, 1).total_seconds > 0
+
+    def test_enormous_batch_timing(self):
+        latency = TimingModel(BROADWELL).model_latency(RMC2_SMALL, 100_000)
+        assert np.isfinite(latency.total_seconds)
+        assert latency.total_seconds > 0
+
+    def test_extreme_colocation_counts(self):
+        tm = TimingModel(BROADWELL)
+        state = ColocationState(num_jobs=1000, corunner_random_gbps=2.0)
+        latency = tm.model_latency(RMC2_SMALL, 16, state)
+        assert np.isfinite(latency.total_seconds)
+
+
+class TestHostileCachePatterns:
+    def test_set_aliasing_thrash(self):
+        """Accesses striding by the set-aliasing distance defeat one set
+        but never corrupt the structure."""
+        h = CacheHierarchy(BROADWELL)
+        stride = h.l1.num_sets * 64
+        for i in range(100):
+            h.access(MemoryAccess(address=(i % 20) * stride, size=64))
+        assert h.l1.resident_lines() <= h.l1.size_bytes // 64
+        assert h.stats.total_line_accesses == 100
+
+    def test_giant_single_access(self):
+        h = CacheHierarchy(BROADWELL)
+        h.access(MemoryAccess(address=0, size=64 * 1024 * 1024))
+        assert h.stats.dram_accesses == 1024 * 1024
+
+    def test_same_line_hammer(self):
+        h = CacheHierarchy(BROADWELL)
+        for _ in range(1000):
+            h.access(MemoryAccess(address=4096, size=8))
+        assert h.stats.l1_hits == 999
+        assert h.stats.dram_accesses == 1
+
+
+class TestDegenerateServers:
+    def test_absurdly_slow_clock_still_finite(self):
+        slow = replace(BROADWELL, name="Slowwell", frequency_ghz=0.1)
+        latency = TimingModel(slow).model_latency(RMC2_SMALL, 16)
+        baseline = TimingModel(BROADWELL).model_latency(RMC2_SMALL, 16)
+        assert np.isfinite(latency.total_seconds)
+        assert latency.total_seconds > baseline.total_seconds
+
+    def test_tiny_llc_kills_rmc1_residency(self):
+        from repro.config import RMC1_SMALL
+
+        tiny_llc = replace(BROADWELL, name="Cacheless", l3_bytes=1 << 20)
+        tiny = TimingModel(tiny_llc).model_latency(RMC1_SMALL, 32)
+        normal = TimingModel(BROADWELL).model_latency(RMC1_SMALL, 32)
+        assert tiny.total_seconds > 1.5 * normal.total_seconds
+
+
+class TestProfilerAndStats:
+    def test_profiler_accumulates_and_resets(self):
+        profiler = Profiler()
+        fc = FullyConnected("fc", 8, 8)
+        act = relu("r", 8)
+        x = np.zeros((2, 8), dtype=np.float32)
+        profiler.run(act, 2, profiler.run(fc, 2, x))
+        profile = profiler.reset()
+        assert len(profile.records) == 2
+        assert profiler.profile.records == []
+        assert profile.total_cost.flops > 0
+
+    def test_profile_merge(self):
+        profiler = Profiler()
+        fc = FullyConnected("fc", 4, 4)
+        profiler.run(fc, 1, np.zeros((1, 4), dtype=np.float32))
+        a = profiler.reset()
+        profiler.run(fc, 1, np.zeros((1, 4), dtype=np.float32))
+        b = profiler.reset()
+        merged = a.merged(b)
+        assert len(merged.records) == 2
+
+    def test_empty_profile_fractions(self):
+        from repro.core.profiler import Profile
+
+        assert Profile().fraction_by_op_type() == {}
+
+    def test_reference_network_points(self):
+        resnet = resnet50_point()
+        rnn = rnn_translation_point()
+        # ResNet50-scale: a few GFLOPs, tens of MB of weights.
+        assert 1e9 < resnet.flops < 2e10
+        assert 1e7 < resnet.storage_bytes < 2e8
+        assert rnn.flops > 1e8

@@ -1,0 +1,88 @@
+"""Slower experiment integration tests (cache simulation, DES)."""
+
+import pytest
+
+from repro.experiments import fig05_intensity_mpki, fig09_colocation, fig11_tail_latency
+
+
+class TestFigure5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig05_intensity_mpki.run(trace_length=10_000, iterations=3)
+
+    def test_sls_dominates_mpki(self, result):
+        mpki = result.mpki_by_name()
+        assert mpki["SLS"] > 5 * max(mpki["FC"], mpki["RNN"], mpki["CNN"])
+
+    def test_sls_in_paper_band(self, result):
+        """Paper: SLS LLC miss rate is 1-10 MPKI (≈8 typical)."""
+        assert 1.0 <= result.mpki_by_name()["SLS"] <= 15.0
+
+    def test_cnn_lowest_mpki(self, result):
+        mpki = result.mpki_by_name()
+        assert mpki["CNN"] <= min(mpki["FC"], mpki["RNN"])
+
+    def test_dense_ops_below_one(self, result):
+        mpki = result.mpki_by_name()
+        assert mpki["FC"] < 1.5 and mpki["RNN"] < 1.5 and mpki["CNN"] < 0.5
+
+    def test_intensity_anchor(self, result):
+        assert result.intensity_by_name()["SLS"] == pytest.approx(0.25, abs=0.1)
+
+    def test_render(self, result):
+        assert "MPKI" in fig05_intensity_mpki.render(result)
+
+
+class TestFigure9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig09_colocation.run()
+
+    def test_n8_degradations(self, result):
+        assert result.degradation("RMC1-small", 8) == pytest.approx(1.3, rel=0.25)
+        assert result.degradation("RMC2-small", 8) == pytest.approx(2.6, rel=0.25)
+        assert result.degradation("RMC3-small", 8) == pytest.approx(1.6, rel=0.25)
+
+    def test_rmc2_sls_and_fc(self, result):
+        assert result.op_degradation("RMC2-small", 8, "SLS") == pytest.approx(
+            3.0, rel=0.25
+        )
+        assert result.op_degradation("RMC2-small", 8, "FC") == pytest.approx(
+            1.6, rel=0.25
+        )
+
+    def test_rmc1_sls_share_growth(self, result):
+        assert result.sls_share("RMC1-small", 1) == pytest.approx(0.15, abs=0.07)
+        assert result.sls_share("RMC1-small", 8) == pytest.approx(0.35, abs=0.10)
+
+
+class TestFigure11:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig11_tail_latency.run(duration_s=0.4)
+
+    def test_broadwell_multimodal(self, result):
+        assert result.servers["Broadwell"].modes >= 3
+
+    def test_skylake_single_mode(self, result):
+        assert result.servers["Skylake"].modes == 1
+
+    def test_broadwell_p99_blows_up(self, result):
+        bdw = result.servers["Broadwell"]
+        skl = result.servers["Skylake"]
+        assert bdw.p99_growth(bdw.curve_small) > 2.0
+        assert skl.p99_growth(skl.curve_small) < 1.3
+
+    def test_large_fc_degrades_on_both_but_worse_on_broadwell(self, result):
+        bdw = result.servers["Broadwell"]
+        skl = result.servers["Skylake"]
+        assert skl.p99_growth(skl.curve_large) > 1.5
+        assert bdw.p99_growth(bdw.curve_large) > skl.p99_growth(skl.curve_large)
+
+    def test_mean_grows_with_colocation(self, result):
+        curve = result.servers["Broadwell"].curve_small
+        assert curve[-1].summary.mean > curve[0].summary.mean
+
+    def test_render(self, result):
+        text = fig11_tail_latency.render(result)
+        assert "mode" in text

@@ -1,0 +1,191 @@
+"""Unit tests for the server timing model (mechanics, not calibration)."""
+
+import pytest
+
+from repro.config import MLPConfig, ModelConfig, RMC1, RMC2, RMC3, uniform_tables
+from repro.hw import (
+    BROADWELL,
+    ColocationState,
+    HASWELL,
+    RUN_ALONE,
+    SKYLAKE,
+    TimingModel,
+    get_server,
+)
+from repro.hw.simd import (
+    effective_gflops,
+    packed_simd_fraction_of_theoretical,
+    packed_simd_throughput_ratio,
+    utilization,
+)
+
+
+class TestServerSpecs:
+    def test_lookup_by_name(self):
+        assert get_server("broadwell") is BROADWELL
+        with pytest.raises(KeyError):
+            get_server("icelake")
+
+    def test_table2_values(self):
+        assert HASWELL.ddr_type == "DDR3"
+        assert BROADWELL.inclusive_llc and HASWELL.inclusive_llc
+        assert not SKYLAKE.inclusive_llc
+        assert SKYLAKE.simd.name == "AVX-512"
+        assert SKYLAKE.l2_bytes == 4 * BROADWELL.l2_bytes
+
+    def test_peak_flops(self):
+        assert SKYLAKE.simd.peak_flops_per_cycle == 2 * BROADWELL.simd.peak_flops_per_cycle
+        assert SKYLAKE.peak_gflops_per_core > BROADWELL.peak_gflops_per_core
+
+
+class TestSimdModel:
+    def test_utilization_monotone_in_batch(self):
+        for server in (HASWELL, BROADWELL, SKYLAKE):
+            values = [utilization(server, b) for b in (1, 4, 16, 64, 256)]
+            assert values == sorted(values)
+
+    def test_utilization_bounded(self):
+        for server in (HASWELL, BROADWELL, SKYLAKE):
+            for b in (1, 3, 10, 100, 1000):
+                assert 0 < utilization(server, b) < 1
+
+    def test_effective_gflops_below_peak(self):
+        assert effective_gflops(BROADWELL, 64) < BROADWELL.peak_gflops_per_core
+
+    def test_packed_ratio_anchors(self):
+        """Paper Section V: 2.9x at batch 4 (74%), 14.5x at batch 16 (91%)."""
+        assert packed_simd_throughput_ratio(4) == pytest.approx(2.9)
+        assert packed_simd_throughput_ratio(16) == pytest.approx(14.5)
+        assert packed_simd_fraction_of_theoretical(4) == pytest.approx(0.725)
+        assert packed_simd_fraction_of_theoretical(16) == pytest.approx(0.906, rel=0.01)
+
+    def test_rejects_zero_batch(self):
+        with pytest.raises(ValueError):
+            utilization(BROADWELL, 0)
+
+
+class TestFcTiming:
+    def test_latency_increases_with_flops(self):
+        tm = TimingModel(BROADWELL)
+        small = tm.fc_time("a", 10_000, 1000, 100, batch=1)
+        big = tm.fc_time("b", 10_000_000, 1000, 100, batch=1)
+        assert big.seconds > small.seconds
+
+    def test_per_sample_latency_improves_with_batch(self):
+        tm = TimingModel(BROADWELL)
+        b1 = tm.fc_time("a", 1_000_000, 4000, 100, batch=1).seconds
+        b64 = tm.fc_time("a", 64_000_000, 4000, 6400, batch=64).seconds / 64
+        assert b64 < b1
+
+    def test_hyperthreading_slows_fc(self):
+        tm = TimingModel(BROADWELL)
+        plain = tm.fc_time("a", 10_000_000, 1000, 100, batch=16)
+        ht = tm.fc_time(
+            "a", 10_000_000, 1000, 100, batch=16,
+            state=ColocationState(num_jobs=1, hyperthreading=True),
+        )
+        assert ht.seconds == pytest.approx(1.6 * plain.seconds, rel=0.05)
+
+    def test_dram_resident_weights_slower_than_cached(self):
+        tm = TimingModel(BROADWELL)
+        # 100 MB of weights cannot live in any cache.
+        huge = tm.fc_time("a", 1_000_000, 100_000_000, 100, batch=1)
+        small = tm.fc_time("a", 1_000_000, 100_000, 100, batch=1)
+        assert huge.seconds > small.seconds
+
+
+class TestSlsTiming:
+    def test_miss_path_slower_than_hit_path(self):
+        tm = TimingModel(BROADWELL)
+        assert tm.sls_miss_ns(32, 1) > tm.sls_hit_ns(32, 1)
+
+    def test_lookup_blends_hit_ratio(self):
+        tm = TimingModel(BROADWELL)
+        all_miss = tm.sls_lookup_ns(32, 16, hit_ratio=0.0)
+        all_hit = tm.sls_lookup_ns(32, 16, hit_ratio=1.0)
+        half = tm.sls_lookup_ns(32, 16, hit_ratio=0.5)
+        assert all_hit < half < all_miss
+
+    def test_rejects_bad_hit_ratio(self):
+        with pytest.raises(ValueError):
+            TimingModel(BROADWELL).sls_lookup_ns(32, 1, hit_ratio=1.5)
+
+    def test_table_hit_ratio_capacity(self):
+        tm = TimingModel(BROADWELL)
+        assert tm.table_hit_ratio(1024) == pytest.approx(1.0)
+        assert tm.table_hit_ratio(10 * 1024**3) < 0.01
+
+    def test_table_hit_ratio_locality_floor(self):
+        tm = TimingModel(BROADWELL)
+        assert tm.table_hit_ratio(10 * 1024**3, locality_hit_ratio=0.6) >= 0.6
+
+    def test_haswell_slowest_dram(self):
+        hsw = TimingModel(HASWELL).sls_miss_ns(32, 1)
+        bdw = TimingModel(BROADWELL).sls_miss_ns(32, 1)
+        assert hsw > bdw
+
+
+class TestModelLatency:
+    def test_production_config_timed_without_allocation(self):
+        latency = TimingModel(BROADWELL).model_latency(RMC2, 16)
+        assert latency.total_seconds > 0
+        assert latency.batch_size == 16
+
+    def test_fractions_sum_to_one(self):
+        latency = TimingModel(SKYLAKE).model_latency(RMC1, 8)
+        assert sum(latency.fraction_by_op_type().values()) == pytest.approx(1.0)
+
+    def test_latency_monotone_in_batch(self):
+        tm = TimingModel(BROADWELL)
+        for cfg in (RMC1, RMC2, RMC3):
+            lats = [tm.model_latency(cfg, b).total_seconds for b in (1, 8, 64, 256)]
+            assert lats == sorted(lats)
+
+    def test_locality_reduces_latency_for_dram_bound(self):
+        tm = TimingModel(BROADWELL)
+        base = tm.model_latency(RMC2, 16).total_seconds
+        local = tm.model_latency(RMC2, 16, locality_hit_ratio=0.8).total_seconds
+        assert local < base
+
+    def test_explicit_hit_ratio_overrides_auto(self):
+        tm = TimingModel(BROADWELL)
+        forced = tm.model_latency(RMC2, 16, sls_hit_ratio=1.0).total_seconds
+        auto = tm.model_latency(RMC2, 16).total_seconds
+        assert forced < auto
+
+    def test_rejects_zero_batch(self):
+        with pytest.raises(ValueError):
+            TimingModel(BROADWELL).model_latency(RMC1, 0)
+
+    def test_seconds_per_sample(self):
+        latency = TimingModel(BROADWELL).model_latency(RMC1, 10)
+        assert latency.seconds_per_sample == pytest.approx(latency.total_seconds / 10)
+
+
+class TestColocationHelpers:
+    def test_resident_bytes_grow_with_fc_size(self):
+        tm = TimingModel(BROADWELL)
+        assert tm.resident_bytes(RMC3) > tm.resident_bytes(RMC1)
+
+    def test_traffic_rmc2_near_paper_value(self):
+        """Paper: ~1 GB/s of DRAM traffic per memory-intensive job."""
+        traffic = TimingModel(BROADWELL).estimate_random_traffic_gbps(RMC2, 32)
+        assert 0.5 < traffic < 4.0
+
+    def test_traffic_rmc1_negligible(self):
+        """RMC1's LLC-resident tables produce almost no DRAM traffic."""
+        traffic = TimingModel(BROADWELL).estimate_random_traffic_gbps(RMC1, 32)
+        assert traffic < 0.1
+
+    def test_colocation_state_composition(self):
+        tm = TimingModel(BROADWELL)
+        state = tm.colocation_state(RMC2, 32, num_jobs=8)
+        assert state.num_jobs == 8
+        assert state.corunner_random_gbps > 0.5
+        assert state.resident_bytes_per_job > 0
+
+    def test_run_alone_is_neutral(self):
+        tm = TimingModel(BROADWELL)
+        assert tm.model_latency(RMC2, 16, RUN_ALONE).total_seconds == pytest.approx(
+            tm.model_latency(RMC2, 16).total_seconds
+        )

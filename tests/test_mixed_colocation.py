@@ -1,0 +1,98 @@
+"""Tests for heterogeneous co-location placement analysis."""
+
+import pytest
+
+from repro.config import RMC1_SMALL, RMC2_SMALL, RMC3_SMALL
+from repro.hw import BROADWELL
+from repro.serving.mixed_colocation import (
+    JobSpec,
+    compare_groupings,
+    machine_latencies,
+    machine_throughput,
+)
+
+
+def jobs(config, n, batch=32):
+    return [JobSpec(config, batch)] * n
+
+
+def latency_of(placed, config_name):
+    for p in placed:
+        if p.job.config.name == config_name:
+            return p.latency.total_seconds
+    raise KeyError(config_name)
+
+
+class TestMachineLatencies:
+    def test_single_job_runs_alone(self):
+        placed = machine_latencies(BROADWELL, jobs(RMC2_SMALL, 1))
+        from repro.hw import TimingModel
+
+        alone = TimingModel(BROADWELL).model_latency(RMC2_SMALL, 32).total_seconds
+        assert placed[0].latency.total_seconds == pytest.approx(alone)
+
+    def test_quiet_corunners_help_rmc2(self):
+        """RMC2 surrounded by LLC-resident RMC1s suffers far less than
+        surrounded by other RMC2s — contention is traffic, not job count."""
+        noisy = machine_latencies(BROADWELL, jobs(RMC2_SMALL, 8))
+        quiet = machine_latencies(
+            BROADWELL, jobs(RMC2_SMALL, 1) + jobs(RMC1_SMALL, 7)
+        )
+        assert (
+            latency_of(quiet, "RMC2-small")
+            < 0.8 * latency_of(noisy, "RMC2-small")
+        )
+
+    def test_noisy_corunners_hurt_rmc1(self):
+        calm = machine_latencies(BROADWELL, jobs(RMC1_SMALL, 8))
+        stormy = machine_latencies(
+            BROADWELL, jobs(RMC1_SMALL, 1) + jobs(RMC2_SMALL, 7)
+        )
+        assert latency_of(stormy, "RMC1-small") > latency_of(calm, "RMC1-small")
+
+    def test_rmc3_footprint_pressures_corunners(self):
+        """RMC3's multi-MB FC weights occupy the LLC: an RMC2 co-located
+        with RMC3s loses capacity even though they are traffic-quiet."""
+        with_rmc1 = machine_latencies(
+            BROADWELL, jobs(RMC2_SMALL, 1) + jobs(RMC1_SMALL, 7)
+        )
+        with_rmc3 = machine_latencies(
+            BROADWELL, jobs(RMC2_SMALL, 1) + jobs(RMC3_SMALL, 7)
+        )
+        assert (
+            latency_of(with_rmc3, "RMC2-small")
+            > latency_of(with_rmc1, "RMC2-small")
+        )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            machine_latencies(BROADWELL, [])
+
+
+class TestGroupings:
+    def test_throughput_is_sum_of_jobs(self):
+        mix = jobs(RMC2_SMALL, 2) + jobs(RMC3_SMALL, 2)
+        placed = machine_latencies(BROADWELL, mix)
+        assert machine_throughput(BROADWELL, mix) == pytest.approx(
+            sum(p.items_per_s for p in placed)
+        )
+
+    def test_comparison_totals_consistent(self):
+        cmp = compare_groupings(
+            BROADWELL, jobs(RMC1_SMALL, 4), jobs(RMC2_SMALL, 4)
+        )
+        assert cmp.segregated_items_per_s > 0
+        assert cmp.interleaved_items_per_s > 0
+        assert cmp.interleaving_gain == pytest.approx(
+            cmp.interleaved_items_per_s / cmp.segregated_items_per_s
+        )
+
+    def test_rejects_odd_groups(self):
+        with pytest.raises(ValueError):
+            compare_groupings(BROADWELL, jobs(RMC1_SMALL, 3), jobs(RMC2_SMALL, 4))
+
+    def test_identical_groups_gain_one(self):
+        cmp = compare_groupings(
+            BROADWELL, jobs(RMC2_SMALL, 4), jobs(RMC2_SMALL, 4)
+        )
+        assert cmp.interleaving_gain == pytest.approx(1.0)

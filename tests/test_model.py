@@ -1,0 +1,159 @@
+"""Tests for RecommendationModel assembly and execution."""
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    MLPConfig,
+    ModelConfig,
+    RMC1,
+    scaled_for_execution,
+    uniform_tables,
+)
+from repro.core import RecommendationModel
+from repro.core.graph import config_ops, fc_weight_bytes
+from repro.data import generate_inputs
+
+
+@pytest.fixture(scope="module")
+def small_config():
+    return ModelConfig(
+        name="tiny",
+        model_class="RMC1",
+        dense_features=8,
+        bottom_mlp=MLPConfig([16, 8]),
+        embedding_tables=uniform_tables(3, 200, 4, 5),
+        top_mlp=MLPConfig([8, 1], final_activation="sigmoid"),
+    )
+
+
+@pytest.fixture(scope="module")
+def model(small_config):
+    return RecommendationModel(small_config)
+
+
+class TestForward:
+    def test_output_is_probability(self, model, small_config):
+        dense, sparse = generate_inputs(small_config, 16)
+        out = model.forward(dense, sparse)
+        assert out.shape == (16,)
+        assert np.all((out >= 0) & (out <= 1))
+
+    def test_deterministic_given_inputs(self, model, small_config):
+        dense, sparse = generate_inputs(small_config, 4, seed=9)
+        np.testing.assert_array_equal(
+            model.forward(dense, sparse), model.forward(dense, sparse)
+        )
+
+    def test_batch_consistency(self, model, small_config):
+        """Scoring a batch equals scoring samples individually."""
+        dense, sparse = generate_inputs(small_config, 3, seed=2)
+        full = model.forward(dense, sparse)
+        for k in range(3):
+            ids = [
+                sp.ids[k * 5 : (k + 1) * 5] for sp in sparse
+            ]
+            single_sparse = [
+                type(sp)(ids=i, lengths=np.array([5])) for sp, i in zip(sparse, ids)
+            ]
+            single = model.forward(dense[k : k + 1], single_sparse)
+            assert single[0] == pytest.approx(full[k], rel=1e-5)
+
+    def test_rejects_wrong_dense_width(self, model):
+        dense, sparse = generate_inputs(model.config, 2)
+        with pytest.raises(ValueError):
+            model.forward(dense[:, :-1], sparse)
+
+    def test_rejects_wrong_table_count(self, model, small_config):
+        dense, sparse = generate_inputs(small_config, 2)
+        with pytest.raises(ValueError):
+            model.forward(dense, sparse[:-1])
+
+    def test_rejects_mismatched_batch(self, model, small_config):
+        dense, sparse = generate_inputs(small_config, 2)
+        dense3, _ = generate_inputs(small_config, 3)
+        with pytest.raises(ValueError):
+            model.forward(dense3, sparse)
+
+
+class TestProfiledForward:
+    def test_profile_covers_all_operators(self, model, small_config):
+        dense, sparse = generate_inputs(small_config, 4)
+        out, profile = model.forward_profiled(dense, sparse)
+        assert len(profile.records) == len(model.operators())
+        assert out.shape == (4,)
+
+    def test_profile_matches_plain_forward(self, model, small_config):
+        dense, sparse = generate_inputs(small_config, 4, seed=5)
+        plain = model.forward(dense, sparse)
+        profiled, _ = model.forward_profiled(dense, sparse)
+        np.testing.assert_allclose(plain, profiled, rtol=1e-6)
+
+    def test_fractions_sum_to_one(self, model, small_config):
+        dense, sparse = generate_inputs(small_config, 4)
+        _, profile = model.forward_profiled(dense, sparse)
+        assert sum(profile.fraction_by_op_type().values()) == pytest.approx(1.0)
+
+    def test_sls_dominates_memory_heavy_config(self):
+        config = scaled_for_execution(
+            ModelConfig(
+                name="memheavy",
+                model_class="RMC2",
+                dense_features=8,
+                bottom_mlp=MLPConfig([8]),
+                embedding_tables=uniform_tables(10, 5000, 32, 40),
+                top_mlp=MLPConfig([4, 1], final_activation="sigmoid"),
+            )
+        )
+        model = RecommendationModel(config)
+        dense, sparse = generate_inputs(config, 8)
+        _, profile = model.forward_profiled(dense, sparse)
+        frac = profile.fraction_by_op_type()
+        assert frac["SLS"] > frac.get("FC", 0.0)
+
+
+class TestModelStructure:
+    def test_storage_matches_config(self, model, small_config):
+        assert model.storage_bytes() == pytest.approx(
+            small_config.total_storage_bytes(), rel=0.01
+        )
+
+    def test_cost_matches_config_flops(self, model, small_config):
+        # Model-level analytic cost includes activations; FLOPs should cover
+        # at least the config-level MLP+embedding FLOPs.
+        assert model.cost(1).flops >= small_config.flops_per_sample()
+
+    def test_operator_order(self, model):
+        names = [op.name for op in model.operators()]
+        assert names.index("concat") > names.index("emb0:sls")
+        assert names.index("top:fc0") > names.index("concat")
+
+
+class TestGraph:
+    def test_graph_matches_model_operators(self, small_config):
+        model = RecommendationModel(small_config)
+        specs = config_ops(small_config)
+        assert [s.name for s in specs] == [op.name for op in model.operators()]
+
+    def test_graph_weight_bytes_match(self, small_config):
+        model = RecommendationModel(small_config)
+        spec_weights = sum(s.weight_bytes for s in config_ops(small_config))
+        assert spec_weights == model.storage_bytes()
+
+    def test_graph_flops_match_config(self, small_config):
+        total = sum(s.flops_per_sample for s in config_ops(small_config))
+        # config-level FLOPs exclude activation FLOPs
+        act = sum(
+            s.flops_per_sample
+            for s in config_ops(small_config)
+            if s.op_type == "Activation"
+        )
+        assert total - act == small_config.flops_per_sample()
+
+    def test_fc_weight_bytes_subset_of_total(self, small_config):
+        assert 0 < fc_weight_bytes(small_config) < small_config.total_storage_bytes()
+
+    def test_production_config_needs_no_allocation(self):
+        # Production RMC1 graph materializes instantly (no table allocation).
+        specs = config_ops(RMC1)
+        assert any(s.op_type == "SLS" for s in specs)

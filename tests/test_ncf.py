@@ -1,0 +1,65 @@
+"""Tests for the NCF (NeuMF) baseline model."""
+
+import numpy as np
+import pytest
+
+from repro.core import NCFModel
+
+
+@pytest.fixture(scope="module")
+def ncf():
+    return NCFModel(num_users=500, num_items=200, embedding_dim=8, mlp_layers=(16, 8))
+
+
+class TestNcfForward:
+    def test_output_probabilities(self, ncf):
+        users = np.array([0, 1, 2, 499])
+        items = np.array([0, 5, 10, 199])
+        out = ncf.forward(users, items)
+        assert out.shape == (4,)
+        assert np.all((out >= 0) & (out <= 1))
+
+    def test_rejects_mismatched_lengths(self, ncf):
+        with pytest.raises(ValueError):
+            ncf.forward(np.array([1, 2]), np.array([1]))
+
+    def test_out_of_range_user_raises(self, ncf):
+        with pytest.raises(IndexError):
+            ncf.forward(np.array([500]), np.array([0]))
+
+    def test_deterministic(self, ncf):
+        users, items = np.array([3, 4]), np.array([7, 8])
+        np.testing.assert_array_equal(
+            ncf.forward(users, items), ncf.forward(users, items)
+        )
+
+    def test_profiled_matches_plain(self, ncf):
+        users, items = np.array([3, 4]), np.array([7, 8])
+        plain = ncf.forward(users, items)
+        profiled, profile = ncf.forward_profiled(users, items)
+        np.testing.assert_allclose(plain, profiled, rtol=1e-6)
+        assert profile.total_seconds > 0
+
+
+class TestNcfCharacterization:
+    def test_fc_dominates_cost(self, ncf):
+        """Section VII: NCF is FC-dominated, unlike production models."""
+        by_type = {}
+        for op in ncf.operators():
+            cost = op.cost(16)
+            by_type[op.op_type] = by_type.get(op.op_type, 0) + cost.flops
+        assert by_type["FC"] > 10 * by_type["SLS"]
+
+    def test_storage_dominated_by_embeddings(self, ncf):
+        table_bytes = ncf.user_table.storage_bytes() + ncf.item_table.storage_bytes()
+        assert table_bytes > 0.5 * ncf.storage_bytes()
+
+    def test_cost_includes_gmf_term(self, ncf):
+        op_total = sum(op.cost(4).flops for op in ncf.operators())
+        assert ncf.cost(4).flops == op_total + 4 * ncf.embedding_dim
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            NCFModel(num_users=0)
+        with pytest.raises(ValueError):
+            NCFModel(mlp_layers=())

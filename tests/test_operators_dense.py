@@ -1,0 +1,137 @@
+"""Tests for FC, Concat, activations, and the dot interaction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.operators import (
+    Activation,
+    Concat,
+    DotInteraction,
+    FullyConnected,
+    relu,
+    sigmoid,
+)
+
+
+class TestFullyConnected:
+    def test_forward_matches_numpy(self):
+        fc = FullyConnected("fc", 4, 3, rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).standard_normal((5, 4)).astype(np.float32)
+        np.testing.assert_allclose(fc.forward(x), x @ fc.weight + fc.bias, rtol=1e-5)
+
+    def test_rejects_wrong_input_shape(self):
+        fc = FullyConnected("fc", 4, 3)
+        with pytest.raises(ValueError):
+            fc.forward(np.zeros((2, 5), dtype=np.float32))
+
+    def test_cost_flops(self):
+        fc = FullyConnected("fc", 4, 3)
+        assert fc.cost(2).flops == 2 * 2 * 4 * 3
+
+    def test_parameter_count(self):
+        fc = FullyConnected("fc", 4, 3)
+        assert fc.parameter_count() == 4 * 3 + 3
+
+    def test_weight_stream_emitted_once_per_invocation(self):
+        fc = FullyConnected("fc", 64, 64)
+        trace = list(fc.address_trace(batch_size=8))
+        weight_reads = [a for a in trace if a.address == 0]
+        assert len(weight_reads) == 1
+
+    def test_fresh_activations_per_invocation(self):
+        fc = FullyConnected("fc", 8, 8)
+        first = list(fc.address_trace(1))
+        second = list(fc.address_trace(1))
+        assert first[1].address != second[1].address
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            FullyConnected("fc", 0, 3)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        batch=st.integers(min_value=1, max_value=8),
+        in_dim=st.integers(min_value=1, max_value=16),
+        out_dim=st.integers(min_value=1, max_value=16),
+    )
+    def test_property_output_shape(self, batch, in_dim, out_dim):
+        fc = FullyConnected("fc", in_dim, out_dim)
+        out = fc.forward(np.zeros((batch, in_dim), dtype=np.float32))
+        assert out.shape == (batch, out_dim)
+
+
+class TestConcat:
+    def test_concatenates_in_order(self):
+        op = Concat("c", [2, 3])
+        a = np.ones((2, 2), dtype=np.float32)
+        b = 2 * np.ones((2, 3), dtype=np.float32)
+        out = op.forward(a, b)
+        assert out.shape == (2, 5)
+        np.testing.assert_array_equal(out[:, :2], a)
+        np.testing.assert_array_equal(out[:, 2:], b)
+
+    def test_rejects_wrong_arity(self):
+        op = Concat("c", [2, 3])
+        with pytest.raises(ValueError):
+            op.forward(np.ones((2, 2), dtype=np.float32))
+
+    def test_rejects_wrong_width(self):
+        op = Concat("c", [2, 3])
+        with pytest.raises(ValueError):
+            op.forward(np.ones((2, 2)), np.ones((2, 4)))
+
+    def test_zero_flops(self):
+        assert Concat("c", [2, 3]).cost(4).flops == 0
+
+
+class TestActivations:
+    def test_relu_clamps_negatives(self):
+        op = relu("r", 4)
+        out = op.forward(np.array([[-1.0, 0.0, 2.0, -3.0]], dtype=np.float32))
+        np.testing.assert_array_equal(out, [[0.0, 0.0, 2.0, 0.0]])
+
+    def test_sigmoid_range_and_midpoint(self):
+        op = sigmoid("s", 3)
+        out = op.forward(np.array([[-100.0, 0.0, 100.0]], dtype=np.float32))
+        assert out[0, 0] == pytest.approx(0.0, abs=1e-6)
+        assert out[0, 1] == pytest.approx(0.5, abs=1e-6)
+        assert out[0, 2] == pytest.approx(1.0, abs=1e-6)
+
+    def test_sigmoid_numerically_stable_extremes(self):
+        op = sigmoid("s", 2)
+        out = op.forward(np.array([[-1e4, 1e4]], dtype=np.float32))
+        assert np.all(np.isfinite(out))
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Activation("a", "tanh", 4)
+
+    def test_sigmoid_costs_more_flops_than_relu(self):
+        assert sigmoid("s", 4).cost(1).flops > relu("r", 4).cost(1).flops
+
+
+class TestDotInteraction:
+    def test_pairwise_dot_products(self):
+        op = DotInteraction("d", num_vectors=3, dim=2)
+        x = np.array(
+            [[[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]]], dtype=np.float32
+        )
+        out = op.forward(x)
+        # pairs in lower-triangle order: (1,0), (2,0), (2,1)
+        np.testing.assert_allclose(out, [[0.0, 1.0, 1.0]])
+
+    def test_output_dim(self):
+        op = DotInteraction("d", num_vectors=5, dim=4)
+        assert op.output_dim == 10
+        x = np.zeros((3, 5, 4), dtype=np.float32)
+        assert op.forward(x).shape == (3, 10)
+
+    def test_rejects_single_vector(self):
+        with pytest.raises(ValueError):
+            DotInteraction("d", num_vectors=1, dim=4)
+
+    def test_cost_is_batched_matmul(self):
+        op = DotInteraction("d", num_vectors=3, dim=2)
+        assert op.cost(4).flops == 2 * 4 * 3 * 3 * 2
+        assert op.op_type == "BatchMM"

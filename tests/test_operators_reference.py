@@ -1,0 +1,86 @@
+"""Tests for the reference CNN/RNN operators and cost comparisons."""
+
+import numpy as np
+import pytest
+
+from repro.core.operators import Conv2D, FullyConnected, RecurrentCell
+from repro.core.operators.base import sum_costs, ZERO_COST
+
+
+class TestConv2D:
+    def test_forward_matches_direct_convolution(self):
+        conv = Conv2D("c", in_channels=2, out_channels=3, kernel_size=3, spatial=5)
+        x = np.random.default_rng(0).standard_normal((1, 2, 5, 5)).astype(np.float32)
+        out = conv.forward(x)
+        # Direct computation for one output position.
+        w = conv.weight.reshape(3, 2, 3, 3)
+        expected = (x[0, :, 0:3, 0:3] * w[1]).sum()
+        assert out[0, 1, 0, 0] == pytest.approx(expected, rel=1e-4)
+
+    def test_output_spatial_with_stride(self):
+        conv = Conv2D("c", 2, 2, 3, 9, stride=2)
+        assert conv.out_spatial == 4
+        out = conv.forward(np.zeros((1, 2, 9, 9), dtype=np.float32))
+        assert out.shape == (1, 2, 4, 4)
+
+    def test_rejects_kernel_bigger_than_input(self):
+        with pytest.raises(ValueError):
+            Conv2D("c", 2, 2, 7, 5)
+
+    def test_high_operational_intensity(self):
+        conv = Conv2D("c", 64, 64, 3, 56)
+        assert conv.cost(1).operational_intensity > 50
+
+    def test_trace_reuses_activation_region(self):
+        conv = Conv2D("c", 4, 4, 3, 8)
+        a = [m.address for m in conv.address_trace(1)]
+        b = [m.address for m in conv.address_trace(1)]
+        assert a == b  # inputs come hot from the previous layer
+
+
+class TestRecurrentCell:
+    def test_forward_shape(self):
+        rnn = RecurrentCell("r", input_dim=4, hidden_dim=6, timesteps=3)
+        out = rnn.forward(np.zeros((2, 3, 4), dtype=np.float32))
+        assert out.shape == (2, 6)
+
+    def test_forward_matches_manual_unroll(self):
+        rnn = RecurrentCell("r", 2, 3, 2, rng=np.random.default_rng(5))
+        x = np.random.default_rng(6).standard_normal((1, 2, 2)).astype(np.float32)
+        h = np.tanh(x[:, 0, :] @ rnn.w_input)
+        h = np.tanh(x[:, 1, :] @ rnn.w_input + h @ rnn.w_hidden)
+        np.testing.assert_allclose(rnn.forward(x), h, rtol=1e-5)
+
+    def test_rejects_wrong_timesteps(self):
+        rnn = RecurrentCell("r", 4, 6, 3)
+        with pytest.raises(ValueError):
+            rnn.forward(np.zeros((2, 4, 4), dtype=np.float32))
+
+    def test_weights_restreamed_per_timestep(self):
+        rnn = RecurrentCell("r", 4, 6, timesteps=5)
+        weight_reads = [m for m in rnn.address_trace(1) if m.address == 0]
+        assert len(weight_reads) == 5
+
+    def test_intensity_between_sls_and_fc(self):
+        """The Figure 5 ordering: SLS << RNN < FC-at-batch < CNN."""
+        rnn = RecurrentCell("r", 1024, 1024, 50)
+        fc = FullyConnected("fc", 2048, 1000)
+        conv = Conv2D("c", 64, 64, 3, 56)
+        rnn_oi = rnn.cost(8).operational_intensity
+        fc_oi = fc.cost(32).operational_intensity
+        conv_oi = conv.cost(1).operational_intensity
+        assert 1 < rnn_oi < fc_oi < conv_oi
+
+
+class TestCostAlgebra:
+    def test_sum_costs(self):
+        fc = FullyConnected("fc", 4, 4)
+        total = sum_costs([fc.cost(1), fc.cost(1)])
+        assert total.flops == 2 * fc.cost(1).flops
+
+    def test_sum_costs_empty(self):
+        assert sum_costs([]) == ZERO_COST
+
+    def test_total_bytes(self):
+        cost = FullyConnected("fc", 4, 4).cost(1)
+        assert cost.total_bytes == cost.bytes_read + cost.bytes_written

@@ -1,0 +1,127 @@
+"""Tests for EmbeddingTable / SparseLengthsSum, including Algorithm 1 parity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.operators import (
+    EmbeddingTable,
+    SparseBatch,
+    SparseLengthsSum,
+    sls_reference,
+)
+
+
+@pytest.fixture
+def table():
+    return EmbeddingTable(rows=50, dim=8, rng=np.random.default_rng(1))
+
+
+@pytest.fixture
+def sls(table):
+    return SparseLengthsSum("sls", table, lookups_per_sample=4)
+
+
+class TestSparseBatch:
+    def test_from_lists(self):
+        batch = SparseBatch.from_lists([[1, 2], [3], [4, 5, 6]])
+        assert batch.batch_size == 3
+        assert batch.total_lookups == 6
+        assert list(batch.lengths) == [2, 1, 3]
+
+    def test_from_lists_empty_sample(self):
+        batch = SparseBatch.from_lists([[], [1]])
+        assert batch.batch_size == 2
+        assert batch.total_lookups == 1
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            SparseBatch(ids=np.array([1, 2]), lengths=np.array([3]))
+
+    def test_rejects_negative_lengths(self):
+        with pytest.raises(ValueError):
+            SparseBatch(ids=np.array([1]), lengths=np.array([2, -1]))
+
+
+class TestSlsForward:
+    def test_matches_algorithm1_reference(self, sls, table):
+        batch = SparseBatch.from_lists([[0, 1, 1, 2], [10, 20, 30, 40]])
+        out = sls.forward(batch)
+        ref = sls_reference(table.data, [4, 4], [0, 1, 1, 2, 10, 20, 30, 40])
+        np.testing.assert_allclose(out, ref, rtol=1e-5)
+
+    def test_single_lookup_returns_row(self, sls, table):
+        batch = SparseBatch.from_lists([[7]])
+        np.testing.assert_allclose(sls.forward(batch)[0], table.data[7])
+
+    def test_duplicate_ids_double_count(self, sls, table):
+        batch = SparseBatch.from_lists([[3, 3]])
+        np.testing.assert_allclose(
+            sls.forward(batch)[0], 2 * table.data[3], rtol=1e-5
+        )
+
+    def test_empty_sample_yields_zero_vector(self, sls):
+        batch = SparseBatch.from_lists([[], [1, 2]])
+        out = sls.forward(batch)
+        np.testing.assert_array_equal(out[0], np.zeros(8, dtype=np.float32))
+
+    def test_out_of_range_id_raises(self, sls):
+        batch = SparseBatch.from_lists([[50]])
+        with pytest.raises(IndexError):
+            sls.forward(batch)
+
+    def test_output_shape_and_dtype(self, sls):
+        batch = SparseBatch.from_lists([[1, 2, 3, 4]] * 5)
+        out = sls.forward(batch)
+        assert out.shape == (5, 8)
+        assert out.dtype == np.float32
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        data=st.lists(
+            st.lists(st.integers(min_value=0, max_value=49), max_size=6),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_property_vectorized_equals_reference(self, data):
+        table = EmbeddingTable(rows=50, dim=4, rng=np.random.default_rng(3))
+        sls = SparseLengthsSum("p", table, lookups_per_sample=1)
+        batch = SparseBatch.from_lists(data)
+        lengths = [len(s) for s in data]
+        flat = [i for s in data for i in s]
+        ref = sls_reference(table.data, lengths, flat)
+        np.testing.assert_allclose(sls.forward(batch), ref, rtol=1e-4, atol=1e-6)
+
+
+class TestSlsCost:
+    def test_cost_scales_with_batch(self, sls):
+        c1, c4 = sls.cost(1), sls.cost(4)
+        assert c4.flops == 4 * c1.flops
+        assert c4.bytes_read == 4 * c1.bytes_read
+
+    def test_low_operational_intensity(self, sls):
+        # The paper's headline: SLS is ~0.25 FLOPs/byte.
+        assert sls.cost(1).operational_intensity < 0.5
+
+    def test_parameter_bytes_is_table_storage(self, sls, table):
+        assert sls.parameter_bytes() == table.storage_bytes() == 50 * 8 * 4
+
+
+class TestSlsTrace:
+    def test_trace_row_granularity(self, sls):
+        accesses = list(sls.trace_for_rows(np.array([0, 5, 49])))
+        assert [a.address for a in accesses] == [0, 5 * 32, 49 * 32]
+        assert all(a.size == 32 for a in accesses)
+
+    def test_random_trace_length(self, sls):
+        accesses = list(sls.address_trace(batch_size=3))
+        assert len(accesses) == 3 * 4
+
+    def test_rejects_zero_lookups(self, table):
+        with pytest.raises(ValueError):
+            SparseLengthsSum("bad", table, lookups_per_sample=0)
+
+    def test_table_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            EmbeddingTable(rows=0, dim=8)

@@ -1,0 +1,69 @@
+"""Integration: ranking quality of the filtering → ranking pipeline.
+
+Uses the synthetic-CTR teacher as ground truth: candidates are generated
+with known true logits, the pipeline filters and ranks them, and
+recall@k/NDCG@k quantify what the lightweight filtering stage costs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import MLPConfig, ModelConfig, uniform_tables
+from repro.core import RecommendationModel
+from repro.data import SyntheticCtrDataset
+from repro.serving import pipeline_quality
+from repro.train import TrainableDLRM, Trainer
+
+
+@pytest.fixture(scope="module")
+def trained_world():
+    """A teacher, a trained filter model, and a candidate pool."""
+    config = ModelConfig(
+        name="pq",
+        model_class="RMC1",
+        dense_features=8,
+        bottom_mlp=MLPConfig([16, 8]),
+        embedding_tables=uniform_tables(2, 200, 8, 4),
+        top_mlp=MLPConfig([16, 1], final_activation="sigmoid"),
+    )
+    dataset = SyntheticCtrDataset(config, signal_scale=2.5, seed=21)
+    model = RecommendationModel(config)
+    Trainer(TrainableDLRM(model), dataset, lr=0.3).fit(
+        steps=400, batch_size=256, eval_samples=512
+    )
+    candidates = dataset.batch(400)
+    true_logits = dataset.true_logits(candidates.dense, candidates.sparse)
+    return model, candidates, true_logits
+
+
+class TestPipelineQuality:
+    def test_trained_filter_beats_random_selection(self, trained_world):
+        model, candidates, true_logits = trained_world
+        scores = model.forward(candidates.dense, candidates.sparse)
+        model_top = list(np.argsort(scores)[::-1][:20])
+        rng = np.random.default_rng(3)
+        random_top = list(rng.choice(400, size=20, replace=False))
+
+        model_q = pipeline_quality(model_top, true_logits, k=20)
+        random_q = pipeline_quality(random_top, true_logits, k=20)
+        assert model_q["recall_at_k"] > random_q["recall_at_k"] + 0.15
+        assert model_q["ndcg_at_k"] > random_q["ndcg_at_k"]
+
+    def test_deeper_filter_keep_never_hurts_recall(self, trained_world):
+        model, candidates, true_logits = trained_world
+        scores = model.forward(candidates.dense, candidates.sparse)
+        order = list(np.argsort(scores)[::-1])
+        true_top = set(np.argsort(true_logits)[::-1][:10])
+
+        def survivors(keep):
+            return len(true_top.intersection(order[:keep])) / 10
+
+        assert survivors(100) >= survivors(30) >= survivors(10) - 1e-9
+
+    def test_quality_metrics_bounded(self, trained_world):
+        model, candidates, true_logits = trained_world
+        scores = model.forward(candidates.dense, candidates.sparse)
+        top = list(np.argsort(scores)[::-1][:10])
+        quality = pipeline_quality(top, true_logits, k=10)
+        assert 0.0 <= quality["recall_at_k"] <= 1.0
+        assert 0.0 <= quality["ndcg_at_k"] <= 1.0

@@ -1,0 +1,80 @@
+"""Tests for the fleet placement optimizer."""
+
+import pytest
+
+from repro.config import RMC1_SMALL, RMC2_SMALL, RMC3_SMALL
+from repro.hw import BROADWELL
+from repro.serving import JobSpec
+from repro.serving.placement_optimizer import (
+    greedy_placement,
+    local_search,
+    optimize_placement,
+    round_robin_placement,
+)
+
+
+def job_bag():
+    return (
+        [JobSpec(RMC1_SMALL, 32)] * 4
+        + [JobSpec(RMC2_SMALL, 32)] * 4
+        + [JobSpec(RMC3_SMALL, 32)] * 4
+    )
+
+
+class TestGreedy:
+    def test_all_jobs_placed(self):
+        solution = greedy_placement(BROADWELL, job_bag(), num_machines=3)
+        assert sum(solution.loads()) == 12
+
+    def test_single_machine(self):
+        solution = greedy_placement(BROADWELL, job_bag()[:4], num_machines=1)
+        assert solution.loads() == [4]
+        assert solution.total_items_per_s > 0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            greedy_placement(BROADWELL, [], 2)
+        with pytest.raises(ValueError):
+            greedy_placement(BROADWELL, job_bag(), 0)
+
+
+class TestOptimization:
+    def test_local_search_never_worse(self):
+        greedy = greedy_placement(BROADWELL, job_bag(), num_machines=3)
+        improved = local_search(BROADWELL, greedy)
+        assert improved.total_items_per_s >= greedy.total_items_per_s - 1e-9
+
+    def test_optimizer_beats_or_matches_round_robin(self):
+        jobs = job_bag()
+        optimized = optimize_placement(BROADWELL, jobs, num_machines=3)
+        baseline = round_robin_placement(BROADWELL, jobs, num_machines=3)
+        assert optimized.total_items_per_s >= baseline.total_items_per_s * 0.999
+
+    def test_dominates_both_naive_layouts(self):
+        """The optimizer must match or beat segregation AND interleaving —
+        whichever the contention model favours for the bag at hand."""
+        from repro.serving.placement_optimizer import _fleet_throughput
+
+        jobs = [JobSpec(RMC2_SMALL, 32)] * 6 + [JobSpec(RMC1_SMALL, 32)] * 6
+        optimized = optimize_placement(BROADWELL, jobs, num_machines=2)
+        segregated = _fleet_throughput(
+            BROADWELL,
+            [[JobSpec(RMC2_SMALL, 32)] * 6, [JobSpec(RMC1_SMALL, 32)] * 6],
+        )
+        interleaved = _fleet_throughput(
+            BROADWELL,
+            [
+                [JobSpec(RMC2_SMALL, 32)] * 3 + [JobSpec(RMC1_SMALL, 32)] * 3,
+                [JobSpec(RMC2_SMALL, 32)] * 3 + [JobSpec(RMC1_SMALL, 32)] * 3,
+            ],
+        )
+        assert optimized.total_items_per_s >= segregated * 0.999
+        assert optimized.total_items_per_s >= interleaved * 0.999
+
+    def test_solution_structure(self):
+        solution = optimize_placement(BROADWELL, job_bag()[:6], num_machines=2)
+        assert solution.num_machines == 2
+        names = sorted(
+            j.config.name for machine in solution.machines for j in machine
+        )
+        assert names == sorted(j.config.name for j in job_bag()[:6])

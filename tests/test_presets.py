@@ -1,0 +1,130 @@
+"""Tests for the production presets against the paper's Table I anchors."""
+
+import pytest
+
+from repro.config import (
+    NCF,
+    PRODUCTION_PRESETS,
+    RMC1_LARGE,
+    RMC1_SMALL,
+    RMC2_LARGE,
+    RMC2_SMALL,
+    RMC3_LARGE,
+    RMC3_SMALL,
+    get_preset,
+    normalize_table1,
+    scaled_for_execution,
+)
+
+GB = 1024**3
+MB = 1024**2
+
+
+class TestStorageAnchors:
+    """Aggregate embedding storage: ~100 MB / ~10 GB / ~1 GB classes."""
+
+    def test_rmc1_tens_of_mb(self):
+        for cfg in (RMC1_SMALL, RMC1_LARGE):
+            assert 10 * MB < cfg.embedding_storage_bytes() < 200 * MB
+
+    def test_rmc2_gigabytes(self):
+        assert 2 * GB < RMC2_SMALL.embedding_storage_bytes() < 12 * GB
+        assert 5 * GB < RMC2_LARGE.embedding_storage_bytes() < 12 * GB
+
+    def test_rmc3_about_a_gigabyte(self):
+        assert 0.5 * GB < RMC3_SMALL.embedding_storage_bytes() < 2 * GB
+        assert 0.5 * GB < RMC3_LARGE.embedding_storage_bytes() < 2 * GB
+
+    def test_storage_ordering_rmc2_largest(self):
+        assert (
+            RMC2_SMALL.embedding_storage_bytes()
+            > RMC3_SMALL.embedding_storage_bytes()
+            > RMC1_SMALL.embedding_storage_bytes()
+        )
+
+
+class TestTableIShape:
+    def test_rmc2_has_order_of_magnitude_more_tables(self):
+        assert RMC2_SMALL.num_tables >= 8 * RMC1_SMALL.num_tables
+
+    def test_rmc3_widest_bottom_mlp(self):
+        assert (
+            RMC3_SMALL.bottom_mlp.layer_sizes[0]
+            == 10 * RMC1_SMALL.bottom_mlp.layer_sizes[0]
+        )
+
+    def test_lookups_rmc1_rmc2_4x_rmc3(self):
+        l1 = RMC1_SMALL.embedding_tables[0].lookups_per_sample
+        l3 = RMC3_SMALL.embedding_tables[0].lookups_per_sample
+        assert l1 == 4 * l3
+
+    def test_embedding_dim_uniform_across_classes(self):
+        dims = {
+            t.dim
+            for cfg in (RMC1_SMALL, RMC2_SMALL, RMC3_SMALL)
+            for t in cfg.embedding_tables
+        }
+        assert dims == {32}
+
+    def test_normalized_table1_matches_paper_ratios(self):
+        rows = {
+            r.model_class: r
+            for r in normalize_table1([RMC1_SMALL, RMC2_SMALL, RMC3_SMALL])
+        }
+        assert rows["RMC1"].bottom_fc == pytest.approx((8, 4, 1))
+        assert rows["RMC3"].bottom_fc == pytest.approx((80, 8, 4))
+        assert rows["RMC2"].num_tables == pytest.approx(10)
+        assert rows["RMC1"].lookups == pytest.approx(4)
+        assert rows["RMC3"].lookups == pytest.approx(1)
+
+    def test_large_variants_are_larger(self):
+        assert RMC1_LARGE.flops_per_sample() > RMC1_SMALL.flops_per_sample()
+        assert (
+            RMC2_LARGE.embedding_storage_bytes()
+            > RMC2_SMALL.embedding_storage_bytes()
+        )
+        assert RMC3_LARGE.flops_per_sample() > RMC3_SMALL.flops_per_sample()
+
+
+class TestNcfGap:
+    """NCF must be far smaller than production models (Section VII)."""
+
+    def test_ncf_fewer_lookups(self):
+        assert NCF.total_lookups == 2
+        assert RMC2_SMALL.total_lookups == 1600
+
+    def test_ncf_embeddings_orders_of_magnitude_below_rmc2(self):
+        assert RMC2_SMALL.embedding_storage_bytes() > 50 * NCF.embedding_storage_bytes()
+
+    def test_ncf_fc_params_below_rmc3(self):
+        assert RMC3_SMALL.mlp_parameter_count() > 10 * NCF.mlp_parameter_count()
+
+
+class TestPresetAccess:
+    def test_get_preset_known(self):
+        assert get_preset("RMC1-small") is RMC1_SMALL
+
+    def test_get_preset_unknown_lists_names(self):
+        with pytest.raises(KeyError, match="RMC1-small"):
+            get_preset("nope")
+
+    def test_all_presets_registered(self):
+        assert len(PRODUCTION_PRESETS) == 8
+
+
+class TestScaledForExecution:
+    def test_caps_rows(self):
+        scaled = scaled_for_execution(RMC2_SMALL, max_rows=5000)
+        assert max(t.rows for t in scaled.embedding_tables) == 5000
+
+    def test_preserves_per_sample_costs(self):
+        scaled = scaled_for_execution(RMC2_SMALL, max_rows=5000)
+        assert scaled.flops_per_sample() == RMC2_SMALL.flops_per_sample()
+        assert scaled.total_lookups == RMC2_SMALL.total_lookups
+
+    def test_noop_when_small_enough(self):
+        assert scaled_for_execution(NCF, max_rows=10_000_000) is NCF
+
+    def test_renames_with_suffix(self):
+        scaled = scaled_for_execution(RMC2_SMALL, max_rows=5000)
+        assert scaled.name.endswith("-exec")

@@ -1,0 +1,117 @@
+"""Property-based fuzzing of the timing model over the config space.
+
+Whatever configuration a user writes, the timing model must behave sanely:
+positive latencies, shares that sum to one, monotonicity in batch and
+co-location, and consistency between execution and the abstract graph.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import MLPConfig, ModelConfig, uniform_tables
+from repro.core import RecommendationModel
+from repro.core.graph import config_ops
+from repro.data import generate_inputs
+from repro.hw import ALL_SERVERS, BROADWELL, ColocationState, TimingModel
+
+
+@st.composite
+def model_configs(draw):
+    """Random valid recommendation-model configurations."""
+    dim = draw(st.sampled_from([8, 16, 32, 64]))
+    interaction = draw(st.sampled_from(["concat", "dot"]))
+    bottom_widths = draw(
+        st.lists(st.integers(8, 256), min_size=1, max_size=3)
+    )
+    if interaction == "dot":
+        bottom_widths[-1] = dim
+    return ModelConfig(
+        name="fuzz",
+        model_class="RMC1",
+        dense_features=draw(st.integers(1, 128)),
+        bottom_mlp=MLPConfig(bottom_widths),
+        embedding_tables=uniform_tables(
+            draw(st.integers(1, 12)),
+            draw(st.integers(100, 5_000_000)),
+            dim,
+            draw(st.integers(1, 128)),
+        ),
+        top_mlp=MLPConfig(
+            draw(st.lists(st.integers(1, 128), min_size=1, max_size=2)) + [1],
+            final_activation="sigmoid",
+        ),
+        interaction=interaction,
+    )
+
+
+class TestTimingProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(config=model_configs(), batch=st.sampled_from([1, 7, 32, 200]))
+    def test_latency_positive_and_shares_normalized(self, config, batch):
+        for server in ALL_SERVERS:
+            latency = TimingModel(server).model_latency(config, batch)
+            assert latency.total_seconds > 0
+            assert sum(latency.fraction_by_op_type().values()) == pytest.approx(1.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(config=model_configs())
+    def test_latency_monotone_in_batch(self, config):
+        tm = TimingModel(BROADWELL)
+        latencies = [
+            tm.model_latency(config, b).total_seconds for b in (1, 4, 16, 64, 256)
+        ]
+        assert latencies == sorted(latencies)
+
+    @settings(max_examples=25, deadline=None)
+    @given(config=model_configs(), jobs=st.integers(2, 24))
+    def test_colocation_never_speeds_up(self, config, jobs):
+        tm = TimingModel(BROADWELL)
+        alone = tm.model_latency(config, 16).total_seconds
+        state = tm.colocation_state(config, 16, jobs)
+        loaded = tm.model_latency(config, 16, state).total_seconds
+        assert loaded >= alone * 0.999
+
+    @settings(max_examples=25, deadline=None)
+    @given(config=model_configs())
+    def test_hyperthreading_never_speeds_up(self, config):
+        tm = TimingModel(BROADWELL)
+        plain = tm.model_latency(config, 16).total_seconds
+        ht = tm.model_latency(
+            config, 16, ColocationState(num_jobs=1, hyperthreading=True)
+        ).total_seconds
+        assert ht >= plain
+
+    @settings(max_examples=25, deadline=None)
+    @given(config=model_configs(), hit=st.floats(0.0, 1.0))
+    def test_locality_never_hurts(self, config, hit):
+        tm = TimingModel(BROADWELL)
+        base = tm.model_latency(config, 16).total_seconds
+        local = tm.model_latency(config, 16, locality_hit_ratio=hit).total_seconds
+        assert local <= base * 1.001
+
+
+class TestGraphExecutionConsistency:
+    @settings(max_examples=15, deadline=None)
+    @given(config=model_configs())
+    def test_graph_matches_instantiated_model(self, config):
+        scaled = config.scaled(
+            table_rows=min(1.0, 2000 / max(t.rows for t in config.embedding_tables))
+        )
+        model = RecommendationModel(scaled)
+        assert [s.name for s in config_ops(scaled)] == [
+            op.name for op in model.operators()
+        ]
+
+    @settings(max_examples=10, deadline=None)
+    @given(config=model_configs(), batch=st.integers(1, 8))
+    def test_forward_always_valid_probabilities(self, config, batch):
+        scaled = config.scaled(
+            table_rows=min(1.0, 1000 / max(t.rows for t in config.embedding_tables))
+        )
+        model = RecommendationModel(scaled)
+        dense, sparse = generate_inputs(scaled, batch)
+        out = model.forward(dense, sparse)
+        assert out.shape == (batch,)
+        assert np.all(np.isfinite(out))
+        assert np.all((out >= 0) & (out <= 1))

@@ -1,0 +1,97 @@
+"""Tests for cost-optimal fleet provisioning."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import (
+    PRODUCTION_PRESETS,
+    RMC1_SMALL,
+    RMC2_SMALL,
+    RMC3_SMALL,
+    config_from_dict,
+    config_to_dict,
+)
+from repro.hw import ALL_SERVERS, BROADWELL
+from repro.serving import SLA, WorkloadDemand
+from repro.serving.provisioning import (
+    DEFAULT_PRICES,
+    PricedGeneration,
+    provision_min_cost,
+    single_generation_cost,
+)
+
+
+def priced_generations():
+    return [
+        PricedGeneration(server, DEFAULT_PRICES[server.name])
+        for server in ALL_SERVERS
+    ]
+
+
+def demand_mix():
+    return [
+        WorkloadDemand(RMC1_SMALL, batch_size=4, sla=SLA(0.001), weight=0.4),
+        WorkloadDemand(RMC2_SMALL, batch_size=32, sla=SLA(0.050), weight=0.4),
+        WorkloadDemand(RMC3_SMALL, batch_size=32, sla=SLA(0.050), weight=0.2),
+    ]
+
+
+class TestProvisioning:
+    def test_plan_meets_shape(self):
+        plan = provision_min_cost(priced_generations(), demand_mix(), 1e6)
+        assert plan.total_machines >= 1
+        assert plan.cost_per_hour > 0
+        assert set(plan.machine_counts) == {s.name for s in ALL_SERVERS}
+
+    def test_cost_scales_with_demand(self):
+        small = provision_min_cost(priced_generations(), demand_mix(), 1e5)
+        big = provision_min_cost(priced_generations(), demand_mix(), 1e6)
+        assert big.cost_per_hour > small.cost_per_hour
+
+    def test_mixed_fleet_no_costlier_than_single_generation(self):
+        mix = demand_mix()
+        mixed = provision_min_cost(priced_generations(), mix, 5e5)
+        for generation in priced_generations():
+            single = single_generation_cost(generation, mix, 5e5)
+            if single is not None:
+                # LP optimum <= any single-generation plan; integer rounding
+                # adds at most one machine per pool.
+                slack = len(priced_generations()) * generation.cost_per_hour
+                assert mixed.cost_per_hour <= single + slack
+
+    def test_integer_counts_cover_fractional(self):
+        plan = provision_min_cost(priced_generations(), demand_mix(), 7e5)
+        for name, fractional in plan.fractional_counts.items():
+            assert plan.machine_counts[name] >= fractional - 1e-9
+
+    def test_impossible_sla_raises(self):
+        impossible = [
+            WorkloadDemand(RMC2_SMALL, batch_size=32, sla=SLA(1e-7), weight=1.0)
+        ]
+        with pytest.raises(RuntimeError):
+            provision_min_cost(priced_generations(), impossible, 1e5)
+
+    def test_single_generation_cost_none_when_infeasible(self):
+        impossible = [
+            WorkloadDemand(RMC3_SMALL, batch_size=32, sla=SLA(1e-7), weight=1.0)
+        ]
+        generation = priced_generations()[0]
+        assert single_generation_cost(generation, impossible, 1e5) is None
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            provision_min_cost(priced_generations(), demand_mix(), 0)
+        with pytest.raises(ValueError):
+            PricedGeneration(BROADWELL, 0.0)
+
+
+class TestSerializationProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(name=st.sampled_from(sorted(PRODUCTION_PRESETS)))
+    def test_round_trip_preserves_all_costs(self, name):
+        config = PRODUCTION_PRESETS[name]
+        rebuilt = config_from_dict(config_to_dict(config))
+        assert rebuilt.flops_per_sample() == config.flops_per_sample()
+        assert rebuilt.bytes_read_per_sample() == config.bytes_read_per_sample()
+        assert rebuilt.total_storage_bytes() == config.total_storage_bytes()
+        assert rebuilt.top_mlp_input_dim == config.top_mlp_input_dim

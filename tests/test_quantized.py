@@ -1,0 +1,84 @@
+"""Tests for int8 quantized embedding tables and quantized SLS."""
+
+import numpy as np
+import pytest
+
+from repro.config import RMC2_SMALL
+from repro.core.operators import (
+    EmbeddingTable,
+    QuantizedEmbeddingTable,
+    QuantizedSparseLengthsSum,
+    SparseBatch,
+    SparseLengthsSum,
+)
+from repro.hw import BROADWELL, TimingModel
+
+
+@pytest.fixture(scope="module")
+def tables():
+    fp32 = EmbeddingTable(rows=300, dim=16, rng=np.random.default_rng(3))
+    return fp32, QuantizedEmbeddingTable.quantize(fp32)
+
+
+class TestQuantizedTable:
+    def test_storage_roughly_quarter(self, tables):
+        fp32, q = tables
+        # int8 payload + 8B/row metadata vs 64B/row fp32.
+        assert q.storage_bytes() < 0.5 * fp32.storage_bytes()
+
+    def test_reconstruction_error_small(self, tables):
+        fp32, q = tables
+        # Row range is ~0.1; 8-bit quantization error <= scale/2 ~= 2e-4.
+        assert q.max_abs_error(fp32) < 5e-4
+
+    def test_dequantize_shape(self, tables):
+        _, q = tables
+        out = q.dequantize_rows(np.array([0, 5, 299]))
+        assert out.shape == (3, 16)
+        assert out.dtype == np.float32
+
+
+class TestQuantizedSls:
+    def test_output_close_to_fp32(self, tables):
+        fp32, q = tables
+        sls = SparseLengthsSum("fp32", fp32, 4)
+        qsls = QuantizedSparseLengthsSum("int8", q, 4)
+        batch = SparseBatch.from_lists([[1, 2, 3, 4], [10, 20, 30, 40]])
+        np.testing.assert_allclose(
+            qsls.forward(batch), sls.forward(batch), atol=2e-3
+        )
+
+    def test_fewer_bytes_read(self, tables):
+        fp32, q = tables
+        sls = SparseLengthsSum("fp32", fp32, 4)
+        qsls = QuantizedSparseLengthsSum("int8", q, 4)
+        assert qsls.cost(8).bytes_read < 0.6 * sls.cost(8).bytes_read
+
+    def test_out_of_range_raises(self, tables):
+        _, q = tables
+        qsls = QuantizedSparseLengthsSum("int8", q, 1)
+        with pytest.raises(IndexError):
+            qsls.forward(SparseBatch.from_lists([[300]]))
+
+    def test_trace_uses_compressed_rows(self, tables):
+        _, q = tables
+        qsls = QuantizedSparseLengthsSum("int8", q, 2)
+        access = next(iter(qsls.address_trace(1)))
+        assert access.size == 16 + 8  # int8 row + scale/offset
+
+
+class TestQuantizedTiming:
+    def test_int8_config_cuts_storage_and_sls_bandwidth(self):
+        from dataclasses import replace
+
+        int8_cfg = replace(RMC2_SMALL, dtype="int8")
+        assert (
+            int8_cfg.embedding_storage_bytes()
+            == RMC2_SMALL.embedding_storage_bytes() // 4
+        )
+        tm = TimingModel(BROADWELL)
+        # At large batch the SLS path is bandwidth-bound: int8 rows quarter
+        # the per-lookup DRAM traffic.
+        fp32_ns = tm.sls_miss_ns(32, 256, dtype_bytes=4)
+        int8_ns = tm.sls_miss_ns(32, 256, dtype_bytes=1)
+        assert int8_ns <= fp32_ns

@@ -1,0 +1,136 @@
+"""Tests for config serialization, the energy model, and weighted SLS."""
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    ConfigError,
+    PRODUCTION_PRESETS,
+    RMC1_DOT,
+    RMC1_SMALL,
+    RMC2_SMALL,
+    RMC3_SMALL,
+    config_from_dict,
+    config_to_dict,
+    load_config,
+    save_config,
+)
+from repro.core.operators import (
+    EmbeddingTable,
+    SparseBatch,
+    SparseLengthsSum,
+    SparseLengthsWeightedSum,
+)
+from repro.hw import BROADWELL, SKYLAKE, efficiency_comparison, inference_energy
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("name", sorted(PRODUCTION_PRESETS))
+    def test_round_trip_every_preset(self, name):
+        config = PRODUCTION_PRESETS[name]
+        rebuilt = config_from_dict(config_to_dict(config))
+        assert rebuilt.describe() == config.describe()
+        assert rebuilt.interaction == config.interaction
+        assert rebuilt.dtype == config.dtype
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "model.json"
+        save_config(RMC1_DOT, path)
+        rebuilt = load_config(path)
+        assert rebuilt.name == RMC1_DOT.name
+        assert rebuilt.interaction == "dot"
+        assert rebuilt.flops_per_sample() == RMC1_DOT.flops_per_sample()
+
+    def test_rejects_wrong_schema_version(self):
+        data = config_to_dict(RMC1_SMALL)
+        data["schema_version"] = 99
+        with pytest.raises(ConfigError):
+            config_from_dict(data)
+
+    def test_rejects_missing_fields(self):
+        data = config_to_dict(RMC1_SMALL)
+        del data["bottom_mlp"]
+        with pytest.raises(ConfigError):
+            config_from_dict(data)
+
+    def test_invalid_payload_fails_validation(self):
+        data = config_to_dict(RMC1_SMALL)
+        data["embedding_tables"] = []
+        with pytest.raises(ConfigError):
+            config_from_dict(data)
+
+
+class TestEnergyModel:
+    def test_components_positive(self):
+        estimate = inference_energy(BROADWELL, RMC2_SMALL, 16)
+        assert estimate.core_joules > 0
+        assert estimate.dram_joules > 0
+        assert estimate.total_joules == pytest.approx(
+            estimate.core_joules + estimate.dram_joules
+        )
+
+    def test_efficiency_improves_with_batch(self):
+        low = inference_energy(BROADWELL, RMC3_SMALL, 1)
+        high = inference_energy(BROADWELL, RMC3_SMALL, 128)
+        assert high.items_per_joule > low.items_per_joule
+
+    def test_broadwell_most_efficient_at_batch16(self):
+        """Lowest latency at moderate batch -> least energy burned."""
+        estimates = efficiency_comparison(RMC2_SMALL, 16)
+        best = max(estimates.values(), key=lambda e: e.items_per_joule)
+        assert best.server_name == "Broadwell"
+
+    def test_dram_energy_tracks_embedding_traffic(self):
+        rmc2 = inference_energy(BROADWELL, RMC2_SMALL, 16)
+        rmc1 = inference_energy(BROADWELL, RMC1_SMALL, 16)
+        # RMC1's LLC-resident tables move almost nothing over the bus.
+        assert rmc2.dram_joules > 10 * rmc1.dram_joules
+
+    def test_skylake_efficient_at_large_batch_compute(self):
+        skl = inference_energy(SKYLAKE, RMC3_SMALL, 256)
+        bdw = inference_energy(BROADWELL, RMC3_SMALL, 256)
+        # Skylake finishes faster at large batch; energy is competitive
+        # despite higher active power.
+        assert skl.latency_s < bdw.latency_s
+
+
+class TestWeightedSls:
+    @pytest.fixture(scope="class")
+    def ops(self):
+        table = EmbeddingTable(100, 8, rng=np.random.default_rng(5))
+        return (
+            SparseLengthsSum("plain", table, 3),
+            SparseLengthsWeightedSum("weighted", table, 3),
+            table,
+        )
+
+    def test_unit_weights_match_plain_sls(self, ops):
+        plain, weighted, _ = ops
+        batch = SparseBatch.from_lists([[1, 2, 3], [4, 5, 6]])
+        ones = np.ones(6, dtype=np.float32)
+        np.testing.assert_allclose(
+            weighted.forward(batch, ones), plain.forward(batch), rtol=1e-6
+        )
+
+    def test_weights_scale_rows(self, ops):
+        _, weighted, table = ops
+        batch = SparseBatch.from_lists([[7]])
+        out = weighted.forward(batch, np.array([2.5], dtype=np.float32))
+        np.testing.assert_allclose(out[0], 2.5 * table.data[7], rtol=1e-6)
+
+    def test_rejects_weight_mismatch(self, ops):
+        _, weighted, _ = ops
+        batch = SparseBatch.from_lists([[1, 2]])
+        with pytest.raises(ValueError):
+            weighted.forward(batch, np.array([1.0]))
+
+    def test_out_of_range_raises(self, ops):
+        _, weighted, _ = ops
+        batch = SparseBatch.from_lists([[100]])
+        with pytest.raises(IndexError):
+            weighted.forward(batch, np.array([1.0]))
+
+    def test_cost_includes_weight_reads(self, ops):
+        plain, weighted, _ = ops
+        assert weighted.cost(4).bytes_read > plain.cost(4).bytes_read
+        assert weighted.cost(4).flops == 2 * plain.cost(4).flops

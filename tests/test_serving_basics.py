@@ -1,0 +1,147 @@
+"""Tests for SLA metrics, load generation and batching."""
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    Batcher,
+    ClosedLoopLoadGenerator,
+    PoissonLoadGenerator,
+    Query,
+    SLA,
+    ThroughputPoint,
+    batch_stream,
+    latency_bounded_throughput,
+)
+
+
+class TestSLA:
+    def test_met_when_under_deadline(self):
+        assert SLA(0.1, percentile=0.99).is_met([0.01] * 100)
+
+    def test_violated_by_tail(self):
+        latencies = [0.01] * 90 + [1.0] * 10
+        assert not SLA(0.1, percentile=0.99).is_met(latencies)
+        assert SLA(0.1, percentile=0.50).is_met(latencies)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            SLA(0.0)
+        with pytest.raises(ValueError):
+            SLA(0.1, percentile=0.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SLA(0.1).is_met([])
+
+
+class TestLatencyBoundedThroughput:
+    def test_picks_highest_feasible(self):
+        points = [
+            ThroughputPoint(1, 0.01, 100, True),
+            ThroughputPoint(2, 0.02, 180, True),
+            ThroughputPoint(4, 0.5, 300, False),
+        ]
+        best = latency_bounded_throughput(points)
+        assert best.num_jobs == 2
+
+    def test_none_when_infeasible(self):
+        points = [ThroughputPoint(1, 0.5, 100, False)]
+        assert latency_bounded_throughput(points) is None
+
+
+class TestPoissonLoadGenerator:
+    def test_rate_approximates_target(self):
+        gen = PoissonLoadGenerator(rate_qps=1000, seed=3)
+        queries = gen.generate(duration_s=2.0)
+        assert len(queries) == pytest.approx(2000, rel=0.15)
+
+    def test_arrivals_sorted_and_bounded(self):
+        queries = PoissonLoadGenerator(rate_qps=500, seed=1).generate(1.0)
+        times = [q.arrival_s for q in queries]
+        assert times == sorted(times)
+        assert all(0 <= t < 1.0 for t in times)
+
+    def test_unique_ids(self):
+        queries = PoissonLoadGenerator(rate_qps=200, seed=2).generate(1.0)
+        ids = [q.query_id for q in queries]
+        assert len(set(ids)) == len(ids)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            PoissonLoadGenerator(rate_qps=0)
+
+
+class TestClosedLoop:
+    def test_one_query_per_client(self):
+        gen = ClosedLoopLoadGenerator(num_clients=5)
+        queries = gen.initial_queries()
+        assert len(queries) == 5
+
+    def test_rejects_zero_clients(self):
+        with pytest.raises(ValueError):
+            ClosedLoopLoadGenerator(num_clients=0)
+
+
+class TestQuery:
+    def test_rejects_negative_arrival(self):
+        with pytest.raises(ValueError):
+            Query(query_id=0, arrival_s=-1.0, num_items=1)
+
+    def test_rejects_zero_items(self):
+        with pytest.raises(ValueError):
+            Query(query_id=0, arrival_s=0.0, num_items=0)
+
+
+class TestBatcher:
+    def q(self, qid, t, items=1):
+        return Query(query_id=qid, arrival_s=t, num_items=items)
+
+    def test_dispatch_on_size(self):
+        batcher = Batcher(max_items=2, max_wait_s=10)
+        assert batcher.offer(self.q(0, 0.0)) is None
+        batch = batcher.offer(self.q(1, 0.001))
+        assert batch is not None
+        assert batch.num_items == 2
+
+    def test_dispatch_on_timeout(self):
+        batcher = Batcher(max_items=100, max_wait_s=0.005)
+        batcher.offer(self.q(0, 0.0))
+        assert batcher.poll(0.001) is None
+        batch = batcher.poll(0.006)
+        assert batch is not None
+        assert batch.queries[0].query_id == 0
+
+    def test_flush_drains_pending(self):
+        batcher = Batcher(max_items=100, max_wait_s=10)
+        batcher.offer(self.q(0, 0.0))
+        batch = batcher.flush(1.0)
+        assert batch.num_items == 1
+        assert batcher.flush(2.0) is None
+
+    def test_multi_item_queries_count_items(self):
+        batcher = Batcher(max_items=4, max_wait_s=10)
+        batch = batcher.offer(self.q(0, 0.0, items=4))
+        assert batch is not None
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            Batcher(max_items=0)
+
+    def test_batch_stream_covers_all_queries(self):
+        queries = PoissonLoadGenerator(rate_qps=2000, seed=0).generate(0.2)
+        batches = batch_stream(queries, max_items=8, max_wait_s=0.002)
+        total = sum(b.num_items for b in batches)
+        assert total == len(queries)
+        assert all(b.num_items <= 8 for b in batches)
+
+    def test_batch_stream_respects_timeout(self):
+        queries = [self.q(0, 0.0), self.q(1, 1.0)]
+        batches = batch_stream(queries, max_items=10, max_wait_s=0.01)
+        assert len(batches) == 2
+
+    def test_oldest_arrival(self):
+        batcher = Batcher(max_items=2, max_wait_s=10)
+        batcher.offer(self.q(0, 0.5))
+        batch = batcher.offer(self.q(1, 0.7))
+        assert batch.oldest_arrival_s == 0.5

@@ -1,0 +1,54 @@
+"""Tests for model summaries and the Figure-3 diagram renderer."""
+
+import pytest
+
+from repro.config import RMC1_DOT, RMC1_SMALL, RMC2_SMALL, RMC3_SMALL
+from repro.core.summary import architecture_diagram, model_summary
+
+
+class TestModelSummary:
+    def test_lists_every_operator(self):
+        from repro.core.graph import config_ops
+
+        text = model_summary(RMC1_SMALL)
+        for spec in config_ops(RMC1_SMALL):
+            assert spec.name in text
+
+    def test_totals_match_config(self):
+        text = model_summary(RMC2_SMALL)
+        mb = RMC2_SMALL.total_storage_bytes() / 1e6
+        assert f"{mb:,.1f} MB" in text
+
+    def test_flops_scale_with_batch(self):
+        b1 = model_summary(RMC3_SMALL, batch_size=1)
+        b8 = model_summary(RMC3_SMALL, batch_size=8)
+        assert "FLOPs @b1" in b1 and "FLOPs @b8" in b8
+
+    def test_dot_model_includes_interaction(self):
+        text = model_summary(RMC1_DOT)
+        assert "interaction" in text and "BatchMM" in text
+
+    def test_rejects_bad_batch(self):
+        with pytest.raises(ValueError):
+            model_summary(RMC1_SMALL, batch_size=0)
+
+
+class TestArchitectureDiagram:
+    def test_mentions_all_components(self):
+        text = architecture_diagram(RMC2_SMALL)
+        assert "Top-MLP" in text
+        assert "Bottom-MLP" in text
+        assert "SparseLengthsSum" in text
+        assert "CTR" in text
+
+    def test_uniform_tables_compact_line(self):
+        text = architecture_diagram(RMC2_SMALL)
+        assert "20 x [2,000,000 rows x 32]" in text
+
+    def test_dot_interaction_labelled(self):
+        assert "dot-interaction" in architecture_diagram(RMC1_DOT)
+        assert "dot-interaction" not in architecture_diagram(RMC1_SMALL)
+
+    def test_lookup_total(self):
+        text = architecture_diagram(RMC3_SMALL)
+        assert f"({RMC3_SMALL.total_lookups}/sample)" in text

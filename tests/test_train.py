@@ -1,0 +1,240 @@
+"""Tests for the training substrate: losses, metrics, gradients, training."""
+
+import numpy as np
+import pytest
+
+from repro.config import MLPConfig, ModelConfig, uniform_tables
+from repro.core import RecommendationModel
+from repro.data import SyntheticCtrDataset
+from repro.train import (
+    TrainableDLRM,
+    Trainer,
+    bce_with_logits,
+    bce_with_logits_grad,
+    log_loss,
+    roc_auc,
+)
+
+
+def tiny_config(interaction="concat", dim=8):
+    bottom_out = dim if interaction == "dot" else 16
+    return ModelConfig(
+        name="tiny",
+        model_class="RMC1",
+        dense_features=6,
+        bottom_mlp=MLPConfig([12, bottom_out]),
+        embedding_tables=uniform_tables(2, 50, dim, 3),
+        top_mlp=MLPConfig([10, 1], final_activation="sigmoid"),
+        interaction=interaction,
+    )
+
+
+class TestLoss:
+    def test_matches_direct_formula(self):
+        logits = np.array([0.5, -1.2, 3.0])
+        labels = np.array([1.0, 0.0, 1.0])
+        p = 1 / (1 + np.exp(-logits))
+        expected = -np.mean(labels * np.log(p) + (1 - labels) * np.log(1 - p))
+        assert bce_with_logits(logits, labels) == pytest.approx(expected)
+
+    def test_stable_at_extreme_logits(self):
+        loss = bce_with_logits(np.array([1e4, -1e4]), np.array([1.0, 0.0]))
+        assert np.isfinite(loss) and loss < 1e-3
+
+    def test_grad_matches_finite_difference(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=5)
+        labels = (rng.random(5) > 0.5).astype(float)
+        grad = bce_with_logits_grad(logits, labels)
+        eps = 1e-5
+        for i in range(5):
+            bumped = logits.copy()
+            bumped[i] += eps
+            numeric = (bce_with_logits(bumped, labels) - bce_with_logits(logits, labels)) / eps
+            assert grad[i] == pytest.approx(numeric, rel=1e-3, abs=1e-6)
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            bce_with_logits(np.array([1.0]), np.array([1.0, 0.0]))
+
+
+class TestMetrics:
+    def test_perfect_auc(self):
+        assert roc_auc(np.array([0.9, 0.8, 0.1, 0.2]), np.array([1, 1, 0, 0])) == 1.0
+
+    def test_random_auc_half(self):
+        rng = np.random.default_rng(1)
+        scores = rng.random(4000)
+        labels = rng.random(4000) > 0.5
+        assert roc_auc(scores, labels) == pytest.approx(0.5, abs=0.03)
+
+    def test_ties_mid_ranked(self):
+        assert roc_auc(np.array([0.5, 0.5]), np.array([1, 0])) == pytest.approx(0.5)
+
+    def test_auc_needs_both_classes(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.array([0.1, 0.2]), np.array([1, 1]))
+
+    def test_log_loss_matches_bce(self):
+        probs = np.array([0.7, 0.2])
+        labels = np.array([1.0, 0.0])
+        logits = np.log(probs / (1 - probs))
+        assert log_loss(probs, labels) == pytest.approx(
+            bce_with_logits(logits, labels), rel=1e-5
+        )
+
+
+class TestGradientCheck:
+    """Analytic backward vs central finite differences on the full model."""
+
+    @pytest.mark.parametrize("interaction", ["concat", "dot"])
+    def test_fc_weight_gradients(self, interaction):
+        config = tiny_config(interaction)
+        model = RecommendationModel(config, rng=np.random.default_rng(7))
+        trainable = TrainableDLRM(model)
+        dataset = SyntheticCtrDataset(config, seed=3)
+        batch = dataset.batch(8)
+
+        logits, cache = trainable.forward_logits(batch.dense, batch.sparse)
+        grads = trainable.backward(
+            bce_with_logits_grad(logits, batch.labels), cache
+        )
+
+        def loss():
+            lg, _ = trainable.forward_logits(batch.dense, batch.sparse)
+            return bce_with_logits(lg, batch.labels)
+
+        rng = np.random.default_rng(11)
+        for op in (model.bottom_ops[0], model.top_ops[0]):
+            d_w, _ = grads.fc[op.name]
+            for _ in range(4):
+                i = int(rng.integers(op.weight.shape[0]))
+                j = int(rng.integers(op.weight.shape[1]))
+                eps = 1e-3
+                original = op.weight[i, j]
+                op.weight[i, j] = original + eps
+                up = loss()
+                op.weight[i, j] = original - eps
+                down = loss()
+                op.weight[i, j] = original
+                numeric = (up - down) / (2 * eps)
+                assert d_w[i, j] == pytest.approx(numeric, rel=0.05, abs=1e-5)
+
+    def test_embedding_gradients(self):
+        config = tiny_config()
+        model = RecommendationModel(config, rng=np.random.default_rng(7))
+        trainable = TrainableDLRM(model)
+        dataset = SyntheticCtrDataset(config, seed=3)
+        batch = dataset.batch(4)
+
+        logits, cache = trainable.forward_logits(batch.dense, batch.sparse)
+        grads = trainable.backward(
+            bce_with_logits_grad(logits, batch.labels), cache
+        )
+
+        rows, grad_rows = grads.tables[0]
+        table = model.tables[0]
+
+        def loss():
+            lg, _ = trainable.forward_logits(batch.dense, batch.sparse)
+            return bce_with_logits(lg, batch.labels)
+
+        row = int(rows[0])
+        eps = 1e-3
+        for col in range(2):
+            original = table.data[row, col]
+            table.data[row, col] = original + eps
+            up = loss()
+            table.data[row, col] = original - eps
+            down = loss()
+            table.data[row, col] = original
+            numeric = (up - down) / (2 * eps)
+            assert grad_rows[0, col] == pytest.approx(numeric, rel=0.05, abs=1e-5)
+
+    def test_untouched_rows_have_no_gradient(self):
+        config = tiny_config()
+        model = RecommendationModel(config)
+        trainable = TrainableDLRM(model)
+        dataset = SyntheticCtrDataset(config, seed=3)
+        batch = dataset.batch(4)
+        logits, cache = trainable.forward_logits(batch.dense, batch.sparse)
+        grads = trainable.backward(
+            bce_with_logits_grad(logits, batch.labels), cache
+        )
+        rows, _ = grads.tables[0]
+        assert set(rows.tolist()) == set(np.unique(batch.sparse[0].ids).tolist())
+
+
+class TestTraining:
+    def test_loss_decreases_and_beats_chance(self):
+        config = tiny_config()
+        model = RecommendationModel(config)
+        dataset = SyntheticCtrDataset(config, signal_scale=2.0, seed=5)
+        trainer = Trainer(TrainableDLRM(model), dataset, lr=0.3)
+        report = trainer.fit(steps=250, batch_size=128, eval_samples=1500)
+        assert report.final_loss < report.initial_loss - 0.05
+        assert report.eval_auc > 0.7
+
+    def test_dot_interaction_model_trains(self):
+        config = tiny_config("dot")
+        model = RecommendationModel(config)
+        dataset = SyntheticCtrDataset(config, signal_scale=2.0, seed=6)
+        trainer = Trainer(TrainableDLRM(model), dataset, lr=0.2)
+        report = trainer.fit(steps=200, batch_size=128, eval_samples=1500)
+        assert report.final_loss < report.initial_loss
+        assert report.eval_auc > 0.65
+
+    def test_logits_match_model_probabilities(self):
+        config = tiny_config()
+        model = RecommendationModel(config)
+        trainable = TrainableDLRM(model)
+        dataset = SyntheticCtrDataset(config, seed=7)
+        batch = dataset.batch(16)
+        logits, _ = trainable.forward_logits(batch.dense, batch.sparse)
+        probs = model.forward(batch.dense, batch.sparse)
+        np.testing.assert_allclose(1 / (1 + np.exp(-logits)), probs, rtol=1e-4)
+
+    def test_rejects_non_sigmoid_head(self):
+        config = ModelConfig(
+            name="nohead",
+            model_class="RMC1",
+            dense_features=4,
+            bottom_mlp=MLPConfig([8]),
+            embedding_tables=uniform_tables(1, 20, 4, 2),
+            top_mlp=MLPConfig([4, 1]),  # no sigmoid
+        )
+        with pytest.raises(ValueError):
+            TrainableDLRM(RecommendationModel(config))
+
+    def test_rejects_bad_lr(self):
+        config = tiny_config()
+        trainable = TrainableDLRM(RecommendationModel(config))
+        with pytest.raises(ValueError):
+            Trainer(trainable, SyntheticCtrDataset(config), lr=0.0)
+
+
+class TestSyntheticDataset:
+    def test_batch_shapes(self):
+        config = tiny_config()
+        dataset = SyntheticCtrDataset(config, seed=1)
+        batch = dataset.batch(12)
+        assert batch.dense.shape == (12, 6)
+        assert batch.labels.shape == (12,)
+        assert set(np.unique(batch.labels)) <= {0.0, 1.0}
+
+    def test_labels_follow_teacher(self):
+        """Samples with high teacher logits must be mostly positive."""
+        config = tiny_config()
+        dataset = SyntheticCtrDataset(config, signal_scale=3.0, seed=2)
+        batch = dataset.batch(3000)
+        logits = dataset.true_logits(batch.dense, batch.sparse)
+        high = batch.labels[logits > 1.0]
+        low = batch.labels[logits < -1.0]
+        assert high.mean() > 0.65
+        assert low.mean() < 0.35
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            SyntheticCtrDataset(tiny_config(), signal_scale=0.0)
+        with pytest.raises(ValueError):
+            SyntheticCtrDataset(tiny_config()).batch(0)

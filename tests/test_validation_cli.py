@@ -1,0 +1,50 @@
+"""Tests for the validation report and the CLI entry point."""
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.validation import Check, render_report, validate
+
+
+class TestValidation:
+    @pytest.fixture(scope="class")
+    def checks(self):
+        return validate()
+
+    def test_all_checks_pass(self, checks):
+        failing = [c.claim for c in checks if not c.passed]
+        assert not failing
+
+    def test_covers_every_source(self, checks):
+        sources = {c.source for c in checks}
+        assert {"Fig 7", "Fig 8", "Fig 9", "Fig 1", "Fig 4", "Sec V", "Sec VI"} <= sources
+
+    def test_report_counts(self, checks):
+        report = render_report(checks)
+        assert f"{len(checks)}/{len(checks)} checks passed" in report
+
+    def test_check_tolerance_logic(self):
+        assert Check("c", "s", 1.0, 1.05, 0.1).passed
+        assert not Check("c", "s", 1.0, 1.5, 0.1).passed
+        assert Check("c", "s", 0.0, 0.0, 0.1).passed
+        assert not Check("c", "s", 0.0, 0.1, 0.1).passed
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure8" in out and "table2" in out
+
+    def test_single_experiment(self, capsys):
+        assert cli_main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Broadwell" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert cli_main(["figure99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_validate_exit_code(self, capsys):
+        assert cli_main(["validate"]) == 0
+        assert "checks passed" in capsys.readouterr().out
