@@ -34,7 +34,7 @@ def run_study():
             ).replay(evaluate),
         }
         best = max(results.values(), key=lambda r: r.hit_ratio)
-        latency = timing.model_latency(
+        latency_s = timing.model_latency(
             RMC2_SMALL, 16, locality_hit_ratio=best.hit_ratio
         ).total_seconds
         rows.append(
@@ -44,7 +44,7 @@ def run_study():
                 f"{100 * results['LRU'].hit_ratio:.0f}%",
                 f"{100 * results['LFU'].hit_ratio:.0f}%",
                 f"{100 * results['StaticHot'].hit_ratio:.0f}%",
-                f"{latency * 1e3:.2f} ms",
+                f"{latency_s * 1e3:.2f} ms",
             ]
         )
     baseline = timing.model_latency(RMC2_SMALL, 16).total_seconds

@@ -26,18 +26,18 @@ def run_study():
     nmp = nmp_speedup(BROADWELL, RMC2_SMALL, 16, NmpConfig(sls_speedup=8))
 
     int8_cfg = replace(RMC2_SMALL, dtype="int8")
-    int8_latency = timing.model_latency(int8_cfg, 16).total_seconds
+    int8_latency_s = timing.model_latency(int8_cfg, 16).total_seconds
 
     rng = np.random.default_rng(0)
     gen = ZipfSparseGenerator(rows=100_000, lookups_per_sample=1, alpha=1.1)
     trace = gen.ids(40_000, rng)
     tiering = plan_tiering(RMC2_SMALL, trace, table_rows=100_000, dram_fraction=0.2)
 
-    return baseline, nmp, int8_cfg, int8_latency, tiering
+    return baseline, nmp, int8_cfg, int8_latency_s, tiering
 
 
 def test_ablation_memory_system(benchmark):
-    baseline, nmp, int8_cfg, int8_latency, tiering = benchmark(run_study)
+    baseline, nmp, int8_cfg, int8_latency_s, tiering = benchmark(run_study)
     rows = [
         ["baseline fp32", f"{baseline * 1e3:.2f} ms", "1.00x", "-"],
         [
@@ -48,8 +48,8 @@ def test_ablation_memory_system(benchmark):
         ],
         [
             "int8 tables",
-            f"{int8_latency * 1e3:.2f} ms",
-            f"{baseline / int8_latency:.2f}x",
+            f"{int8_latency_s * 1e3:.2f} ms",
+            f"{baseline / int8_latency_s:.2f}x",
             f"{int8_cfg.embedding_storage_bytes() / 1e9:.1f} GB (4x smaller)",
         ],
         [

@@ -41,8 +41,8 @@ def _run_one(exp_id: str) -> None:
     module = REGISTRY[exp_id]
     start = time.perf_counter()
     result = module.run()
-    elapsed = time.perf_counter() - start
-    print(f"\n### {exp_id} ({elapsed:.1f}s)\n")
+    elapsed_s = time.perf_counter() - start
+    print(f"\n### {exp_id} ({elapsed_s:.1f}s)\n")
     print(module.render(result))
 
 

@@ -83,12 +83,12 @@ class Profiler:
         """Execute ``operator`` on ``inputs`` and record timing + cost."""
         start = time.perf_counter()
         result = operator.forward(*inputs)
-        elapsed = time.perf_counter() - start
+        elapsed_s = time.perf_counter() - start
         self.profile.records.append(
             OperatorRecord(
                 name=operator.name,
                 op_type=operator.op_type,
-                seconds=elapsed,
+                seconds=elapsed_s,
                 cost=operator.cost(batch_size),
             )
         )

@@ -435,10 +435,10 @@ class TimingModel:
         produce almost none; RMC2 produces ~1 GB/s, matching the paper.
         """
         hit = self.table_hit_ratio(config.embedding_storage_bytes())
-        latency = self.model_latency(config, batch).total_seconds
+        latency_s = self.model_latency(config, batch).total_seconds
         miss_bytes = 0.0
         for spec in config_ops(config):
             if spec.op_type == OP_SLS:
                 row_bytes = max(64, spec.embedding_dim * spec.dtype_bytes)
                 miss_bytes += (1.0 - hit) * batch * spec.lookups_per_sample * row_bytes
-        return miss_bytes / latency / 1e9
+        return miss_bytes / latency_s / 1e9

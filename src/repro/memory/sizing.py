@@ -75,7 +75,7 @@ def plan_cache_size(
     points = []
     for capacity in capacities:
         hit = profile.hit_ratio(capacity)
-        latency = timing.model_latency(
+        latency_s = timing.model_latency(
             config, batch_size, locality_hit_ratio=hit
         ).total_seconds
         points.append(
@@ -83,8 +83,8 @@ def plan_cache_size(
                 capacity_rows=capacity,
                 cache_bytes=capacity * row_bytes,
                 hit_ratio=hit,
-                latency_s=latency,
-                latency_reduction=1.0 - latency / baseline,
+                latency_s=latency_s,
+                latency_reduction=1.0 - latency_s / baseline,
             )
         )
 

@@ -26,6 +26,7 @@ from .distributed import (
     NetworkConfig,
     ShardPlan,
     distributed_latency,
+    min_shards_for_capacity,
     shard_tables,
     sharding_sweep,
 )
@@ -99,6 +100,7 @@ __all__ = [
     "NetworkConfig",
     "ShardPlan",
     "distributed_latency",
+    "min_shards_for_capacity",
     "shard_tables",
     "sharding_sweep",
     "Batch",

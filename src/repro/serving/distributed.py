@@ -62,6 +62,44 @@ class ShardPlan:
         return [i for i, s in enumerate(self.table_assignment) if s == shard]
 
 
+def min_shards_for_capacity(
+    config: ModelConfig, server: ServerSpec, dram_headroom: float = 0.8
+) -> int:
+    """Fewest shards such that every shard's tables fit the server's DRAM.
+
+    Sharding exists because multi-GB embedding tables outgrow a single
+    server's memory; ``dram_headroom`` reserves the remainder of
+    ``server.dram_capacity_bytes`` for MLP weights, activations and the OS.
+    The greedy partition is balanced, so the bound uses the aggregate size
+    with one retry step in case the largest-first packing overshoots.
+    """
+    if not 0.0 < dram_headroom <= 1.0:
+        raise ValueError("dram_headroom must be in (0, 1]")
+    budget_bytes = int(server.dram_capacity_bytes * dram_headroom)
+    biggest_table = max(
+        t.storage_bytes(config.dtype) for t in config.embedding_tables
+    )
+    if biggest_table > budget_bytes:
+        raise ValueError(
+            f"table of {biggest_table} bytes cannot fit any shard's "
+            f"{budget_bytes}-byte DRAM budget on {server.name}"
+        )
+    total_bytes = config.embedding_storage_bytes()
+    num_shards = max(1, -(-total_bytes // budget_bytes))
+    while True:
+        plan = shard_tables(config, num_shards)
+        shard_bytes = [
+            sum(
+                config.embedding_tables[i].storage_bytes(config.dtype)
+                for i in plan.tables_of(shard)
+            )
+            for shard in range(plan.num_shards)
+        ]
+        if max(shard_bytes) <= budget_bytes:
+            return num_shards
+        num_shards += 1
+
+
 def shard_tables(config: ModelConfig, num_shards: int) -> ShardPlan:
     """Greedy largest-first partition of tables by storage bytes."""
     if num_shards < 1:

@@ -36,13 +36,13 @@ def colocation_sweep(
     points = []
     for n in range(1, max_jobs + 1):
         state = timing.colocation_state(config, batch_size, n)
-        latency = timing.model_latency(config, batch_size, state).total_seconds
+        latency_s = timing.model_latency(config, batch_size, state).total_seconds
         points.append(
             ThroughputPoint(
                 num_jobs=n,
-                latency_s=latency,
-                items_per_s=n * batch_size / latency,
-                meets_sla=latency <= sla.deadline_s,
+                latency_s=latency_s,
+                items_per_s=n * batch_size / latency_s,
+                meets_sla=latency_s <= sla.deadline_s,
             )
         )
     return points

@@ -1,0 +1,37 @@
+"""repro.tools.staticcheck — AST-based invariant checker for this repository.
+
+The paper's characterization rests on operators reporting *correct*
+analytical costs and on simulation being deterministic and unit-consistent;
+a silently wrong ``bytes()`` or an unseeded RNG invalidates every
+downstream figure. This package enforces those invariants statically:
+
+* a pluggable rule engine over Python ``ast`` (:mod:`.engine`),
+* repo-specific rules (:mod:`.rules`): cost contracts, unit-suffix
+  discipline, determinism, dtype discipline, config reachability, and the
+  experiment-registry convention,
+* a static model-graph validator (:mod:`.graphs`) that shape-checks every
+  ``config/presets.py`` preset without executing numpy,
+* a baseline/suppression mechanism (:mod:`.baseline`) and text + JSON
+  reporters (:mod:`.reporters`).
+
+Run it as::
+
+    python -m repro.tools.staticcheck src/ tests/ benchmarks/
+
+See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue and conventions.
+"""
+
+from .engine import ModuleInfo, Project, Rule, Violation, load_project, run_checks
+from .graphs import GraphProblem, validate_config, validate_presets
+
+__all__ = [
+    "GraphProblem",
+    "ModuleInfo",
+    "Project",
+    "Rule",
+    "Violation",
+    "load_project",
+    "run_checks",
+    "validate_config",
+    "validate_presets",
+]

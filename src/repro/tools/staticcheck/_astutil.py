@@ -1,0 +1,68 @@
+"""Small AST helpers shared by the rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Render ``a.b.c`` attribute/name chains as a string, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def names_in(node: ast.AST) -> set[str]:
+    """Every bare identifier referenced anywhere inside ``node``.
+
+    ``self.x`` contributes both ``self`` and the attribute name ``x`` so
+    data-flow checks can follow instance attributes by name.
+    """
+    found: set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            found.add(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            found.add(sub.attr)
+    return found
+
+
+def contains_mult(node: ast.AST) -> bool:
+    """True if any multiplication appears inside ``node``."""
+    return any(
+        isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Mult)
+        for sub in ast.walk(node)
+    )
+
+
+def call_keyword(call: ast.Call, name: str) -> ast.expr | None:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def decorator_names(node: ast.FunctionDef | ast.AsyncFunctionDef | ast.ClassDef) -> set[str]:
+    names: set[str] = set()
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        dotted = dotted_name(target)
+        if dotted:
+            names.add(dotted.split(".")[-1])
+    return names
+
+
+def walk_functions(tree: ast.AST) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def is_constant_none(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None

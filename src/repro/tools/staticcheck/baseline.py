@@ -1,0 +1,82 @@
+"""Baseline (accepted-exception) handling.
+
+A baseline is a checked-in JSON file recording violations the team has
+reviewed and accepted. Matching is by *fingerprint* — ``(rule, path,
+message)``, deliberately line-free so entries survive unrelated edits —
+and multiset-aware: two accepted occurrences of the same fingerprint
+suppress at most two live violations, so a third regression still fails.
+
+Format (``--write-baseline`` produces it)::
+
+    {
+      "version": 1,
+      "entries": [
+        {"rule": "SC201", "path": "src/...", "message": "...", "count": 1}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from .engine import Violation
+
+BASELINE_VERSION = 1
+
+#: Default baseline filename looked up at the repo root.
+DEFAULT_BASELINE_NAME = ".staticcheck-baseline.json"
+
+
+class BaselineError(ValueError):
+    """Raised for malformed baseline files."""
+
+
+def load_baseline(path: Path) -> Counter:
+    """Load a baseline file into a fingerprint multiset."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline {path} has unsupported version "
+            f"{payload.get('version') if isinstance(payload, dict) else '?'}"
+        )
+    counts: Counter = Counter()
+    for entry in payload.get("entries", []):
+        try:
+            fingerprint = (entry["rule"], entry["path"], entry["message"])
+        except (TypeError, KeyError) as exc:
+            raise BaselineError(f"baseline {path}: malformed entry {entry!r}") from exc
+        counts[fingerprint] += int(entry.get("count", 1))
+    return counts
+
+
+def save_baseline(path: Path, violations: list[Violation]) -> None:
+    """Write the baseline that would suppress exactly ``violations``."""
+    counts = Counter(v.fingerprint for v in violations)
+    entries = [
+        {"rule": rule, "path": rel, "message": message, "count": count}
+        for (rule, rel, message), count in sorted(counts.items())
+    ]
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def apply_baseline(
+    violations: list[Violation], baseline: Counter
+) -> tuple[list[Violation], int]:
+    """Split violations into (new, suppressed-count) against a baseline."""
+    remaining = Counter(baseline)
+    new: list[Violation] = []
+    suppressed = 0
+    for violation in violations:
+        if remaining[violation.fingerprint] > 0:
+            remaining[violation.fingerprint] -= 1
+            suppressed += 1
+        else:
+            new.append(violation)
+    return new, suppressed

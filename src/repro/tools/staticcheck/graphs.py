@@ -1,0 +1,130 @@
+"""SC701 static model-graph validation for the config presets.
+
+Shape-checks a :class:`~repro.config.model_config.ModelConfig` the way the
+executable model would wire it — bottom-MLP → SLS gathers → interaction →
+concat → top-MLP — **without executing numpy**: no table is allocated, no
+array touched. A preset whose dimensions disagree fails lint instead of
+failing a benchmark run twenty minutes in.
+
+Checks, per preset:
+
+* positive dense width and bottom-MLP layer widths;
+* every embedding table has positive rows/dim/lookups;
+* ``dot`` interaction requires the bottom-MLP output width to equal every
+  embedding dimension (the Gram matmul is otherwise ill-shaped);
+* the concat width implied by walking the graph equals the config's own
+  ``top_mlp_input_dim`` (guards drift between the property and the graph
+  expansion in :mod:`repro.core.graph`);
+* the top-MLP ends in the scalar CTR head (width 1) with a sigmoid;
+* dtype is a known element type with a positive byte width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class GraphProblem:
+    """One shape/contract violation found in a model preset."""
+
+    preset: str
+    stage: str
+    message: str
+
+    def format(self) -> str:
+        return f"preset {self.preset!r} [{self.stage}]: {self.message}"
+
+
+def validate_config(config) -> list[GraphProblem]:
+    """Shape-check one ``ModelConfig``-like object; returns found problems."""
+    problems: list[GraphProblem] = []
+    name = getattr(config, "name", "<unnamed>")
+
+    def problem(stage: str, message: str) -> None:
+        problems.append(GraphProblem(preset=name, stage=stage, message=message))
+
+    # --- bottom MLP -------------------------------------------------------
+    if config.dense_features < 1:
+        problem("bottom-mlp", f"dense_features must be positive, got {config.dense_features}")
+    widths = list(config.bottom_mlp.layer_sizes)
+    if not widths:
+        problem("bottom-mlp", "bottom MLP has no layers")
+    if any(w < 1 for w in widths):
+        problem("bottom-mlp", f"non-positive layer width in {widths}")
+    bottom_out = widths[-1] if widths else 0
+
+    # --- embedding tables -------------------------------------------------
+    if not config.embedding_tables:
+        problem("sls", "model has no embedding tables")
+    embedding_dims = []
+    for i, table in enumerate(config.embedding_tables):
+        if table.rows < 1 or table.dim < 1 or table.lookups_per_sample < 1:
+            problem(
+                "sls",
+                f"table {i}: rows/dim/lookups must be positive, got "
+                f"({table.rows}, {table.dim}, {table.lookups_per_sample})",
+            )
+        embedding_dims.append(table.dim)
+
+    # --- interaction ------------------------------------------------------
+    if config.interaction == "dot":
+        mismatched = sorted({d for d in embedding_dims if d != bottom_out})
+        if mismatched:
+            problem(
+                "interaction",
+                f"dot interaction needs every embedding dim == bottom-MLP "
+                f"output width {bottom_out}, got dims {mismatched}",
+            )
+        v = 1 + len(embedding_dims)
+        concat_width = bottom_out + v * (v - 1) // 2
+    elif config.interaction == "concat":
+        concat_width = bottom_out + sum(embedding_dims)
+    else:
+        problem("interaction", f"unknown interaction {config.interaction!r}")
+        concat_width = bottom_out + sum(embedding_dims)
+
+    declared = config.top_mlp_input_dim
+    if declared != concat_width:
+        problem(
+            "concat",
+            f"graph walk implies top-MLP input width {concat_width} but the "
+            f"config reports top_mlp_input_dim={declared}",
+        )
+
+    # --- top MLP / CTR head ----------------------------------------------
+    top_widths = list(config.top_mlp.layer_sizes)
+    if not top_widths:
+        problem("top-mlp", "top MLP has no layers")
+    elif top_widths[-1] != 1:
+        problem(
+            "top-mlp",
+            f"CTR head must end in a scalar (width 1), got {top_widths[-1]}",
+        )
+    if top_widths and config.top_mlp.final_activation != "sigmoid":
+        problem(
+            "top-mlp",
+            "CTR head should end in a sigmoid "
+            f"(final_activation={config.top_mlp.final_activation!r})",
+        )
+
+    # --- dtype ------------------------------------------------------------
+    from ...config.model_config import DTYPE_BYTES
+
+    if config.dtype not in DTYPE_BYTES or DTYPE_BYTES.get(config.dtype, 0) < 1:
+        problem("dtype", f"unknown or zero-width dtype {config.dtype!r}")
+
+    return problems
+
+
+def validate_presets(presets: Iterable | None = None) -> list[GraphProblem]:
+    """Validate every production preset (or the supplied configs)."""
+    if presets is None:
+        from ...config.presets import PRODUCTION_PRESETS
+
+        presets = PRODUCTION_PRESETS.values()
+    problems: list[GraphProblem] = []
+    for config in presets:
+        problems.extend(validate_config(config))
+    return problems

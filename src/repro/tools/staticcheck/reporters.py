@@ -1,0 +1,82 @@
+"""Text and JSON reporters for checker results."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+
+from .engine import Violation
+
+#: Version of the JSON report schema (tests pin it).
+REPORT_SCHEMA_VERSION = 1
+
+
+@dataclass
+class CheckReport:
+    """Everything one checker invocation produced."""
+
+    violations: list[Violation]
+    checked_files: int
+    suppressed_by_baseline: int = 0
+    graph_problems: list = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.violations or self.graph_problems else 0
+
+
+def render_text(report: CheckReport) -> str:
+    """Human-readable diagnostics, one ``path:line:col`` line per finding."""
+    lines = [v.format() for v in report.violations]
+    lines.extend(
+        f"src/repro/config/presets.py:0:0: SC701 [preset-graphs] {p.format()}"
+        for p in report.graph_problems
+    )
+    total = len(report.violations) + len(report.graph_problems)
+    if total:
+        by_rule = Counter(v.rule for v in report.violations)
+        if report.graph_problems:
+            by_rule["SC701"] = len(report.graph_problems)
+        breakdown = ", ".join(f"{r}:{n}" for r, n in sorted(by_rule.items()))
+        lines.append(
+            f"staticcheck: {total} violation{'s' if total != 1 else ''} "
+            f"({breakdown}) in {report.checked_files} files"
+        )
+    else:
+        lines.append(
+            f"staticcheck: clean — {report.checked_files} files checked"
+            + (
+                f", {report.suppressed_by_baseline} baseline-suppressed"
+                if report.suppressed_by_baseline
+                else ""
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_json(report: CheckReport) -> str:
+    """Machine-readable report (schema pinned by REPORT_SCHEMA_VERSION)."""
+    payload = {
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "checked_files": report.checked_files,
+        "suppressed_by_baseline": report.suppressed_by_baseline,
+        "violations": [
+            {
+                "rule": v.rule,
+                "name": v.name,
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "message": v.message,
+            }
+            for v in report.violations
+        ],
+        "graph_problems": [
+            {"preset": p.preset, "stage": p.stage, "message": p.message}
+            for p in report.graph_problems
+        ],
+        "counts": dict(Counter(v.rule for v in report.violations)),
+        "exit_code": report.exit_code,
+    }
+    return json.dumps(payload, indent=2)

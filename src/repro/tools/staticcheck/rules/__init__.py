@@ -1,0 +1,37 @@
+"""Rule registry. Every rule the checker knows about is listed here."""
+
+from __future__ import annotations
+
+from ..engine import Rule
+from .config_reachability import ConfigReachabilityRule
+from .cost_contract import CostContractRule
+from .determinism import DeterminismRule
+from .dtype_discipline import DtypeDisciplineRule
+from .experiment_registry import ExperimentRegistryRule
+from .units import UnitSuffixRule
+
+ALL_RULES: tuple[Rule, ...] = (
+    CostContractRule(),
+    UnitSuffixRule(),
+    DeterminismRule(),
+    DtypeDisciplineRule(),
+    ConfigReachabilityRule(),
+    ExperimentRegistryRule(),
+)
+
+
+def select_rules(
+    select: list[str] | None = None, ignore: list[str] | None = None
+) -> list[Rule]:
+    """Filter :data:`ALL_RULES` by rule id or name."""
+    rules = list(ALL_RULES)
+    if select:
+        wanted = set(select)
+        rules = [r for r in rules if r.id in wanted or r.name in wanted]
+    if ignore:
+        dropped = set(ignore)
+        rules = [r for r in rules if r.id not in dropped and r.name not in dropped]
+    return rules
+
+
+__all__ = ["ALL_RULES", "select_rules"]

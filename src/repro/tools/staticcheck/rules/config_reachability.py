@@ -1,0 +1,80 @@
+"""SC501 config-reachability: every config knob must be read somewhere.
+
+A field on :class:`ModelConfig`/:class:`ServerSpec` (and their component
+dataclasses) that nothing in ``src/`` ever reads is a dead knob: it looks
+tunable, reviewers reason about it, but it cannot influence any result.
+Either wire it up or delete it.
+
+Detection is name-based and deliberately conservative: any attribute read
+``<expr>.field`` anywhere in ``src/`` (outside the field's own declaration)
+counts, so the rule can under-report dead knobs but will not produce false
+positives from numpy-style dynamic access.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Project, Rule, Violation
+
+#: Dataclasses whose fields constitute the experiment configuration surface.
+TARGET_CLASSES = (
+    "ModelConfig",
+    "EmbeddingTableConfig",
+    "MLPConfig",
+    "ServerSpec",
+    "SimdSpec",
+)
+
+
+class ConfigReachabilityRule(Rule):
+    id = "SC501"
+    name = "config-reachability"
+    description = (
+        "every field of the config dataclasses (ModelConfig, ServerSpec, ...) "
+        "must be read somewhere in src/ — dead knobs are flagged"
+    )
+
+    target_classes: tuple[str, ...] = TARGET_CLASSES
+
+    def check_project(self, project: Project) -> Iterator[Violation]:
+        src = project.src_modules()
+        if not src:
+            return
+
+        # Field declarations: AnnAssign statements directly in the class body.
+        fields: dict[tuple[str, str], tuple] = {}  # (class, field) -> (module, node)
+        declaration_nodes: set[int] = set()
+        for module in src:
+            for node in ast.walk(module.tree):
+                if not (isinstance(node, ast.ClassDef) and node.name in self.target_classes):
+                    continue
+                for stmt in node.body:
+                    if isinstance(stmt, ast.AnnAssign) and isinstance(
+                        stmt.target, ast.Name
+                    ):
+                        field = stmt.target.id
+                        if field.startswith("_"):
+                            continue
+                        fields[(node.name, field)] = (module, stmt)
+                        declaration_nodes.add(id(stmt.target))
+
+        if not fields:
+            return
+
+        # Attribute reads by name across all of src/ (declarations excluded).
+        read_names: set[str] = set()
+        for module in src:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
+                    read_names.add(node.attr)
+
+        for (cls, field), (module, stmt) in sorted(fields.items()):
+            if field not in read_names:
+                yield self.violation(
+                    module,
+                    stmt,
+                    f"{cls}.{field} is never read anywhere in src/ — dead "
+                    "config knob; wire it into the model or remove it",
+                )

@@ -1,0 +1,202 @@
+"""SC101 cost-contract: every concrete Operator reports batch-aware costs.
+
+Two checks:
+
+1. A concrete :class:`Operator` subclass (one that implements ``forward``)
+   must implement ``cost`` somewhere in its project-visible ancestry —
+   otherwise its FLOPs/bytes silently fall back to nothing and every
+   fleet-level figure built on them is wrong.
+
+2. Inside any ``cost`` method of an Operator subclass, the ``flops`` and
+   ``bytes_written`` terms handed to ``OperatorCost`` must carry the batch
+   dimension: a multiplicative shape chain (``lookups * dim * 4``) whose
+   factors never trace back to the batch parameter has dropped the batch
+   term — the classic silent per-sample/per-batch confusion. The check
+   follows simple local assignments (``lookups = batch_size * k``)
+   transitively, so idiomatic cost bodies pass. ``bytes_read`` is exempt:
+   parameter streaming legitimately contributes a batch-independent term.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .._astutil import contains_mult, call_keyword, decorator_names, names_in
+from ..engine import ModuleInfo, Project, Rule, Violation
+
+#: Root of the operator hierarchy; classes reaching it by name are checked.
+OPERATOR_BASE = "Operator"
+
+#: Cost terms that must scale with batch (bytes_read is legitimately mixed).
+BATCH_SCALED_TERMS = ("flops", "bytes_written")
+
+#: Positional layout of OperatorCost(flops, bytes_read, bytes_written).
+_POSITIONAL_TERMS = {0: "flops", 2: "bytes_written"}
+
+
+class _ClassRecord:
+    def __init__(self, module: ModuleInfo, node: ast.ClassDef) -> None:
+        self.module = module
+        self.node = node
+        self.bases = [b for b in (_base_name(base) for base in node.bases) if b]
+        self.methods: dict[str, ast.FunctionDef] = {}
+        self.abstract_methods: set[str] = set()
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.methods[item.name] = item
+                if "abstractmethod" in decorator_names(item):
+                    self.abstract_methods.add(item.name)
+
+
+def _base_name(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _reaches_operator(name: str, classes: dict[str, _ClassRecord], seen: set[str]) -> bool:
+    if name == OPERATOR_BASE:
+        return True
+    if name in seen or name not in classes:
+        return False
+    seen.add(name)
+    return any(_reaches_operator(base, classes, seen) for base in classes[name].bases)
+
+
+def _defines_concretely(
+    name: str, method: str, classes: dict[str, _ClassRecord]
+) -> bool:
+    """True if class ``name`` or a project ancestor (below Operator) defines
+    ``method`` without an ``abstractmethod`` decorator."""
+    if name == OPERATOR_BASE or name not in classes:
+        return False
+    record = classes[name]
+    if method in record.methods:
+        return method not in record.abstract_methods
+    return any(_defines_concretely(base, method, classes) for base in record.bases)
+
+
+class CostContractRule(Rule):
+    id = "SC101"
+    name = "cost-contract"
+    description = (
+        "concrete Operator subclasses must implement cost(); flops/bytes_written "
+        "shape products inside cost() must carry the batch term"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Violation]:
+        # The cost contract binds library code; tests may define deliberately
+        # minimal fake operators (zero-cost stubs, fixed-cost probes).
+        classes: dict[str, _ClassRecord] = {}
+        for module in project.modules:
+            if module.is_test:
+                continue
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef) and node.name not in classes:
+                    classes[node.name] = _ClassRecord(module, node)
+
+        for name, record in classes.items():
+            if name == OPERATOR_BASE:
+                continue
+            if not _reaches_operator(name, classes, set()):
+                continue
+            is_concrete = _defines_concretely(name, "forward", classes)
+            if is_concrete and not _defines_concretely(name, "cost", classes):
+                yield self.violation(
+                    record.module,
+                    record.node,
+                    f"concrete Operator subclass {name!r} implements forward() "
+                    "but never implements cost(); its FLOPs/bytes are unaccounted",
+                )
+            cost = record.methods.get("cost")
+            if cost is not None and "abstractmethod" not in decorator_names(cost):
+                yield from self._check_cost_body(record, cost)
+
+    # ------------------------------------------------------------- cost body
+
+    def _check_cost_body(
+        self, record: _ClassRecord, cost: ast.FunctionDef
+    ) -> Iterator[Violation]:
+        params = [a.arg for a in cost.args.args if a.arg != "self"]
+        if not params:
+            yield self.violation(
+                record.module,
+                cost,
+                f"{record.node.name}.cost() takes no batch-size parameter",
+            )
+            return
+        batch = params[0]
+
+        # Local data flow: name -> names referenced by its assigned value.
+        bindings: dict[str, set[str]] = {}
+        binding_exprs: dict[str, ast.expr] = {}
+        for node in ast.walk(cost):
+            if isinstance(node, ast.Assign) and node.targets:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    bindings[target.id] = names_in(node.value)
+                    binding_exprs[target.id] = node.value
+
+        def reaches_batch(expr: ast.expr) -> bool:
+            frontier = names_in(expr)
+            seen: set[str] = set()
+            while frontier:
+                if batch in frontier:
+                    return True
+                seen |= frontier
+                frontier = {
+                    dep
+                    for name in frontier
+                    if name in bindings
+                    for dep in bindings[name]
+                } - seen
+            return False
+
+        def is_product(expr: ast.expr) -> bool:
+            if contains_mult(expr):
+                return True
+            return any(
+                name in binding_exprs and contains_mult(binding_exprs[name])
+                for name in names_in(expr)
+            )
+
+        body_names = names_in(cost)
+        if batch not in body_names:
+            yield self.violation(
+                record.module,
+                cost,
+                f"{record.node.name}.cost() never uses its batch parameter "
+                f"{batch!r}; the reported cost cannot scale with batch size",
+            )
+            return
+
+        for node in ast.walk(cost):
+            if not (isinstance(node, ast.Call) and _is_operator_cost(node.func)):
+                continue
+            terms: list[tuple[str, ast.expr]] = []
+            for position, term in _POSITIONAL_TERMS.items():
+                if len(node.args) > position:
+                    terms.append((term, node.args[position]))
+            for term in BATCH_SCALED_TERMS:
+                value = call_keyword(node, term)
+                if value is not None:
+                    terms.append((term, value))
+            for term, expr in terms:
+                if is_product(expr) and not reaches_batch(expr):
+                    yield self.violation(
+                        record.module,
+                        expr,
+                        f"{record.node.name}.cost(): {term} is a shape product "
+                        f"with no {batch!r} factor — batch term dropped?",
+                    )
+
+
+def _is_operator_cost(func: ast.expr) -> bool:
+    if isinstance(func, ast.Name):
+        return func.id == "OperatorCost"
+    if isinstance(func, ast.Attribute):
+        return func.attr == "OperatorCost"
+    return False

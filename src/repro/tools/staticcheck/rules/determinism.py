@@ -1,0 +1,116 @@
+"""SC301 determinism: no unseeded or global-state randomness outside tests.
+
+Every simulator figure must be reproducible run-to-run; randomness is only
+allowed through an explicitly seeded ``np.random.Generator``. Flagged:
+
+* legacy global-state numpy randomness — any ``np.random.<fn>()`` call
+  except ``default_rng``/``Generator``/bit-generator constructors;
+* the stdlib ``random`` module (both ``random.<fn>()`` and names imported
+  via ``from random import ...``);
+* ``np.random.default_rng()`` with no seed (or an explicit ``None`` seed):
+  entropy from the OS makes the run unrepeatable.
+
+Test files are exempt — tests may legitimately fuzz.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .._astutil import dotted_name, is_constant_none
+from ..engine import ModuleInfo, Project, Rule, Violation
+
+#: np.random attributes that are fine to call (seeded/explicit-state APIs).
+ALLOWED_NP_RANDOM = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "MT19937",
+    "SFC64",
+}
+
+
+class DeterminismRule(Rule):
+    id = "SC301"
+    name = "determinism"
+    description = (
+        "forbid global-state randomness (np.random.<fn>, random.<fn>) and "
+        "unseeded default_rng() outside tests"
+    )
+
+    def check_module(self, module: ModuleInfo, project: Project) -> Iterator[Violation]:
+        if module.is_test:
+            return
+        random_imports = self._stdlib_random_names(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            yield from self._check_call(module, node, dotted, random_imports)
+
+    def _stdlib_random_names(self, tree: ast.Module) -> set[str]:
+        """Names bound in this module that refer to the stdlib random module."""
+        names: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        names.add(alias.asname or "random")
+            elif isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    names.add(alias.asname or alias.name)
+        return names
+
+    def _check_call(
+        self,
+        module: ModuleInfo,
+        node: ast.Call,
+        dotted: str,
+        random_imports: set[str],
+    ) -> Iterator[Violation]:
+        parts = dotted.split(".")
+        # np.random.<fn> / numpy.random.<fn>
+        if len(parts) >= 3 and parts[0] in ("np", "numpy") and parts[1] == "random":
+            fn = parts[2]
+            if fn not in ALLOWED_NP_RANDOM:
+                yield self.violation(
+                    module,
+                    node,
+                    f"np.random.{fn}() uses numpy's global RNG state; "
+                    "thread an explicitly seeded np.random.Generator instead",
+                )
+                return
+        # stdlib random
+        root = parts[0]
+        if root in random_imports and (len(parts) > 1 or root != "random"):
+            # `random.x()` when `import random`, or a bare name imported
+            # via `from random import x`.
+            yield self.violation(
+                module,
+                node,
+                f"stdlib random call {dotted}() is process-global and unseeded "
+                "per-site; use a seeded np.random.Generator",
+            )
+            return
+        # default_rng with no/None seed
+        if parts[-1] == "default_rng":
+            if not node.args and not node.keywords:
+                yield self.violation(
+                    module,
+                    node,
+                    "default_rng() without a seed draws OS entropy — results "
+                    "are not reproducible; pass an explicit seed",
+                )
+            elif node.args and is_constant_none(node.args[0]):
+                yield self.violation(
+                    module,
+                    node,
+                    "default_rng(None) is unseeded; pass an explicit integer seed",
+                )

@@ -1,0 +1,83 @@
+"""SC401 dtype discipline in operator hot paths (``core/operators/``).
+
+The paper's models are fp32 end-to-end; numpy defaults to float64. An
+allocator without an explicit ``dtype=`` in an operator kernel silently
+doubles bandwidth and skews every byte count the characterization reports.
+Flagged, inside ``core/operators/`` only:
+
+* ``np.zeros/np.ones/np.empty/np.full`` (and their scalar-shaped forms)
+  without an explicit ``dtype=`` keyword;
+* explicit float64 requests in kernels: ``astype(float)``,
+  ``astype(np.float64)``, ``astype("float64")`` and the same spellings as
+  a ``dtype=`` keyword.
+
+The ``*_like`` allocators inherit their prototype's dtype and are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .._astutil import call_keyword, dotted_name
+from ..engine import ModuleInfo, Project, Rule, Violation
+
+ALLOCATORS = {"zeros", "ones", "empty", "full"}
+
+_F64_STRINGS = {"float64", "f8", "double"}
+
+
+def _is_float64(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name) and node.id == "float":
+        return True
+    dotted = dotted_name(node)
+    if dotted in ("np.float64", "numpy.float64"):
+        return True
+    return isinstance(node, ast.Constant) and node.value in _F64_STRINGS
+
+
+class DtypeDisciplineRule(Rule):
+    id = "SC401"
+    name = "dtype-discipline"
+    description = (
+        "operator kernels must allocate with an explicit dtype and never "
+        "request float64 (numpy's implicit default doubles every byte count)"
+    )
+
+    def check_module(self, module: ModuleInfo, project: Project) -> Iterator[Violation]:
+        if not module.is_operator_hot_path:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted and "." in dotted:
+                root, _, fn = dotted.rpartition(".")
+                if root in ("np", "numpy") and fn in ALLOCATORS:
+                    if call_keyword(node, "dtype") is None:
+                        yield self.violation(
+                            module,
+                            node,
+                            f"np.{fn}() without dtype= allocates float64 in an "
+                            "operator hot path; pass dtype=np.float32 (or the "
+                            "intended integer dtype) explicitly",
+                        )
+                        continue
+            # astype(float64-spelling) or dtype=float64-spelling anywhere.
+            if isinstance(node.func, ast.Attribute) and node.func.attr == "astype":
+                if node.args and _is_float64(node.args[0]):
+                    yield self.violation(
+                        module,
+                        node,
+                        "astype() to float64 in an operator hot path; the "
+                        "models are fp32 end-to-end",
+                    )
+                    continue
+            dtype_kw = call_keyword(node, "dtype")
+            if dtype_kw is not None and _is_float64(dtype_kw):
+                yield self.violation(
+                    module,
+                    node,
+                    "explicit float64 dtype in an operator hot path; the "
+                    "models are fp32 end-to-end",
+                )

@@ -1,0 +1,166 @@
+"""SC201 unit-suffix discipline for time and size quantities.
+
+The hw/timing and serving layers are full of latency and capacity math;
+the convention (docs/STATIC_ANALYSIS.md) is that any scalar holding a
+duration or a byte count carries an explicit unit suffix — ``_ns``,
+``_us``, ``_ms``, ``_s``, ``_bytes``, ``_kb``, ``_mb``, ``_gb``, ... Two
+checks enforce it:
+
+1. **mixing** — ``a_ns + b_s`` (or ``-``, or a comparison) between operands
+   whose inferred units differ is almost certainly a missing conversion.
+   Multiplication/division are exempt: they *are* the conversions.
+2. **bare names** — an assignment or numeric annotation whose target is a
+   bare time/size stem (``latency``, ``duration``, ``timeout``, ...) and
+   whose value is visibly numeric must say which unit it holds.
+
+Unit inference is deliberately conservative: names containing ``_per_``
+are rates, constants and calls are wildcards, and only two *known,
+different* units on either side of ``+``/``-`` fire the rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import ModuleInfo, Project, Rule, Violation
+
+TIME_UNITS = {"ns", "us", "ms", "s", "sec", "seconds"}
+SIZE_UNITS = {"bytes", "kb", "mb", "gb", "tb", "kib", "mib", "gib"}
+UNIT_SUFFIXES = TIME_UNITS | SIZE_UNITS
+
+#: Names that clearly hold a duration but don't say in which unit. Size
+#: stems like ``size`` are NOT listed: ``batch_size``/``kernel_size`` are
+#: element counts, not byte quantities — only the mixing check covers sizes.
+BARE_STEMS = {"latency", "elapsed", "duration", "delay", "timeout"}
+
+_NUMERIC_ANNOTATIONS = {"int", "float"}
+
+
+def _unit_of_name(name: str) -> str | None:
+    lowered = name.lower()
+    if "_per_" in lowered or lowered.startswith("per_"):
+        return None  # rates: bytes_per_s, flops_per_byte, ...
+    suffix = lowered.rsplit("_", 1)[-1] if "_" in lowered else None
+    if suffix in UNIT_SUFFIXES:
+        return suffix
+    return None
+
+
+def _target_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _unit_of_expr(node: ast.expr) -> str | None:
+    """Infer the unit of an expression; ``None`` means unknown/wildcard."""
+    name = _target_name(node)
+    if name is not None:
+        return _unit_of_name(name)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+        left = _unit_of_expr(node.left)
+        right = _unit_of_expr(node.right)
+        return left or right
+    if isinstance(node, ast.Call):
+        func = _target_name(node.func)
+        if func in ("min", "max", "sum", "abs") and node.args:
+            units = [_unit_of_expr(a) for a in node.args]
+            known = [u for u in units if u]
+            if len(set(known)) == 1:
+                return known[0]
+    return None
+
+
+def _is_numeric_value(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        return not isinstance(node.value, bool)
+    if isinstance(node, ast.BinOp):
+        return True
+    name = _target_name(node)
+    if name is not None:
+        return _unit_of_name(name) is not None
+    return False
+
+
+class UnitSuffixRule(Rule):
+    id = "SC201"
+    name = "unit-suffix"
+    description = (
+        "time/size scalars must carry unit suffixes (_ns/_us/_ms/_s/_bytes/...); "
+        "adding or comparing values with different unit suffixes is flagged"
+    )
+
+    def check_module(self, module: ModuleInfo, project: Project) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+                yield from self._check_pair(module, node, node.left, node.right, "mixes")
+            elif isinstance(node, ast.Compare) and len(node.comparators) == 1:
+                yield from self._check_pair(
+                    module, node, node.left, node.comparators[0], "compares"
+                )
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    yield from self._check_bare(module, target, node.value)
+            elif isinstance(node, ast.AnnAssign):
+                yield from self._check_annotated(module, node.target, node.annotation)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for arg in node.args.args + node.args.kwonlyargs:
+                    if arg.annotation is not None:
+                        yield from self._check_annotated(module, arg, arg.annotation)
+
+    def _check_pair(
+        self,
+        module: ModuleInfo,
+        node: ast.AST,
+        left: ast.expr,
+        right: ast.expr,
+        verb: str,
+    ) -> Iterator[Violation]:
+        left_unit = _unit_of_expr(left)
+        right_unit = _unit_of_expr(right)
+        if left_unit and right_unit and left_unit != right_unit:
+            yield self.violation(
+                module,
+                node,
+                f"arithmetic {verb} units '_{left_unit}' and '_{right_unit}' "
+                "without an explicit conversion",
+            )
+
+    def _check_bare(
+        self, module: ModuleInfo, target: ast.expr, value: ast.expr
+    ) -> Iterator[Violation]:
+        name = _target_name(target)
+        if name is None:
+            return
+        stem = name.lower().rsplit("_", 1)[-1] if "_" in name else name.lower()
+        if stem in BARE_STEMS and _is_numeric_value(value):
+            yield self.violation(
+                module,
+                target,
+                f"{name!r} holds a numeric time/size but has no unit suffix "
+                "(_ns/_us/_ms/_s/_bytes/...)",
+            )
+
+    def _check_annotated(
+        self, module: ModuleInfo, target: ast.AST, annotation: ast.expr
+    ) -> Iterator[Violation]:
+        ann = _target_name(annotation)
+        if ann not in _NUMERIC_ANNOTATIONS:
+            return
+        if isinstance(target, ast.arg):
+            name: str | None = target.arg
+        else:
+            name = _target_name(target)  # type: ignore[arg-type]
+        if name is None:
+            return
+        stem = name.lower().rsplit("_", 1)[-1] if "_" in name else name.lower()
+        if stem in BARE_STEMS:
+            yield self.violation(
+                module,
+                target,
+                f"{name!r} is a numeric time/size but has no unit suffix "
+                "(_ns/_us/_ms/_s/_bytes/...)",
+            )

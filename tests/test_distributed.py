@@ -7,6 +7,7 @@ from repro.hw import BROADWELL
 from repro.serving import (
     NetworkConfig,
     distributed_latency,
+    min_shards_for_capacity,
     shard_tables,
     sharding_sweep,
 )
@@ -35,6 +36,36 @@ class TestShardPlan:
     def test_rejects_zero_shards(self):
         with pytest.raises(ValueError):
             shard_tables(RMC2_SMALL, 0)
+
+
+class TestCapacityPlanning:
+    def test_small_model_needs_one_shard(self):
+        assert min_shards_for_capacity(RMC2_SMALL, BROADWELL) == 1
+
+    def test_shard_count_grows_with_shrinking_budget(self):
+        # Squeeze the usable DRAM until RMC2's ~10 GB of tables must split.
+        table_bytes = RMC2_SMALL.embedding_tables[0].storage_bytes()
+        tight = table_bytes * 3 / BROADWELL.dram_capacity_bytes
+        shards = min_shards_for_capacity(RMC2_SMALL, BROADWELL, dram_headroom=tight)
+        assert shards >= RMC2_SMALL.num_tables // 3
+        plan = shard_tables(RMC2_SMALL, shards)
+        budget = int(BROADWELL.dram_capacity_bytes * tight)
+        for shard in range(plan.num_shards):
+            owned = sum(
+                RMC2_SMALL.embedding_tables[i].storage_bytes()
+                for i in plan.tables_of(shard)
+            )
+            assert owned <= budget
+
+    def test_table_larger_than_budget_is_rejected(self):
+        table_bytes = RMC2_SMALL.embedding_tables[0].storage_bytes()
+        too_tight = table_bytes * 0.5 / BROADWELL.dram_capacity_bytes
+        with pytest.raises(ValueError):
+            min_shards_for_capacity(RMC2_SMALL, BROADWELL, dram_headroom=too_tight)
+
+    def test_rejects_bad_headroom(self):
+        with pytest.raises(ValueError):
+            min_shards_for_capacity(RMC2_SMALL, BROADWELL, dram_headroom=0.0)
 
 
 class TestDistributedLatency:
