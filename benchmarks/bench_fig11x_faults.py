@@ -1,0 +1,23 @@
+"""Figure 11x bench: resilience-policy ladder under a seeded fault storm."""
+
+from conftest import emit
+
+from repro.experiments import fig11x_faults
+
+
+def test_fig11x_faults(benchmark):
+    result = benchmark.pedantic(
+        fig11x_faults.run,
+        kwargs={"duration_s": 0.8},
+        iterations=1,
+        rounds=1,
+    )
+    emit(
+        "Figure 11x: fault storm vs resilience policies",
+        fig11x_faults.render(result),
+    )
+    assert result.p999_reduction() > 1.0
+    assert result.goodput_gain() >= 1.0
+    hedged = result.outcomes["retry+hedge"].stats
+    assert hedged.hedges > 0
+    assert hedged.goodput_qps <= hedged.throughput_qps + 1e-9

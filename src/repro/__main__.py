@@ -32,6 +32,7 @@ _ORDERED = [
     "configspace",
     "whatif",
     "figure11",
+    "figure11x",
     "figure14",
     "figure5",
 ]

@@ -24,6 +24,7 @@ class LatencySummary:
     p50: float
     p95: float
     p99: float
+    p999: float
 
     @property
     def tail_spread(self) -> float:
@@ -45,6 +46,7 @@ def summarize(samples) -> LatencySummary:
         p50=float(np.percentile(arr, 50)),
         p95=float(np.percentile(arr, 95)),
         p99=float(np.percentile(arr, 99)),
+        p999=float(np.percentile(arr, 99.9)),
     )
 
 

@@ -19,6 +19,7 @@ from . import (
     fig09_colocation,
     fig10_latency_throughput,
     fig11_tail_latency,
+    fig11x_faults,
     fig12_ncf_comparison,
     fig14_trace_locality,
     micro_takeaways,
@@ -38,6 +39,7 @@ REGISTRY = {
     "figure9": fig09_colocation,
     "figure10": fig10_latency_throughput,
     "figure11": fig11_tail_latency,
+    "figure11x": fig11x_faults,
     "figure12": fig12_ncf_comparison,
     "figure14": fig14_trace_locality,
     "table1": table1_model_params,

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Callable
 
 from ..config.model_config import ModelConfig
 from ..hw.server import ServerSpec
@@ -125,8 +126,20 @@ class Autoscaler:
         load: DiurnalLoad,
         hours: float = 24.0,
         tick_hours: float = 0.1,
+        healthy_fraction: Callable[[float], float] | None = None,
     ) -> AutoscaleResult:
-        """Simulate the reactive policy over ``hours`` of load."""
+        """Simulate the reactive policy over ``hours`` of load.
+
+        Args:
+            load: the diurnal demand curve.
+            hours / tick_hours: horizon and tick.
+            healthy_fraction: optional ``hour -> fraction in (0, 1]`` of
+                provisioned replicas actually serving (the fault feed, e.g.
+                adapted from
+                :meth:`repro.serving.faults.FaultSchedule.healthy_fraction`).
+                The reactive policy sees the same signal and over-provisions
+                to compensate, after the provisioning delay.
+        """
         if hours <= 0 or tick_hours <= 0:
             raise ValueError("hours and tick must be positive")
         steps: list[AutoscaleStep] = []
@@ -136,7 +149,10 @@ class Autoscaler:
         t = 0.0
         while t < hours:
             demand = load.at(t)
-            desired = self.replicas_for(demand)
+            healthy = 1.0 if healthy_fraction is None else float(healthy_fraction(t))
+            if not 0.0 < healthy <= 1.0:
+                raise ValueError("healthy_fraction must return values in (0, 1]")
+            desired = math.ceil(self.replicas_for(demand) / healthy)
             if desired > replicas:
                 effective = t + self.provision_delay_hours
                 if not pending or pending[-1][1] < desired:
@@ -146,7 +162,8 @@ class Autoscaler:
                 pending = [p for p in pending if p[1] > replicas]
             while pending and pending[0][0] <= t:
                 replicas = max(replicas, pending.pop(0)[1])
-            utilization = demand / (replicas * self.replica_capacity)
+            serving_replicas = replicas * healthy
+            utilization = demand / (serving_replicas * self.replica_capacity)
             steps.append(
                 AutoscaleStep(
                     hour=t,

@@ -180,3 +180,56 @@ def heterogeneity_gain(
     if blind <= 0:
         return float("inf") if aware > 0 else 1.0
     return aware / blind
+
+
+def survivable_capacity(
+    pools: list[MachinePool],
+    demands: list[WorkloadDemand],
+    failures: list[int] | tuple[int, ...],
+) -> ClusterPlan:
+    """Aware-scheduled capacity after losing machines from each pool.
+
+    ``failures[i]`` machines of pool ``i`` are down (a rack loss, a bad
+    kernel rollout on one generation). Returns the re-optimized plan over
+    the survivors; a fully dead cluster serves scale 0.
+    """
+    if len(failures) != len(pools):
+        raise ValueError("need one failure count per pool")
+    surviving: list[MachinePool] = []
+    for pool, lost in zip(pools, failures):
+        if lost < 0:
+            raise ValueError("failure counts must be non-negative")
+        if lost > pool.count:
+            raise ValueError(
+                f"cannot lose {lost} machines from a pool of {pool.count}"
+            )
+        if pool.count - lost >= 1:
+            surviving.append(MachinePool(pool.server, pool.count - lost))
+    if not surviving:
+        return ClusterPlan(policy="aware-survivable", served_scale=0.0, assignment=())
+    plan = aware_capacity(surviving, demands)
+    return ClusterPlan(
+        policy="aware-survivable",
+        served_scale=plan.served_scale,
+        assignment=plan.assignment,
+    )
+
+
+def worst_single_pool_loss(
+    pools: list[MachinePool],
+    demands: list[WorkloadDemand],
+    lost_machines: int = 1,
+) -> float:
+    """Worst-case served scale after ``lost_machines`` die in any one pool.
+
+    The N+k provisioning question: the scale a planner can still promise
+    when any single generation loses that many machines at once.
+    """
+    if lost_machines < 0:
+        raise ValueError("lost_machines must be non-negative")
+    worst = float("inf")
+    for i, pool in enumerate(pools):
+        failures = [0] * len(pools)
+        failures[i] = min(lost_machines, pool.count)
+        worst = min(worst, survivable_capacity(pools, demands, failures).served_scale)
+    return worst

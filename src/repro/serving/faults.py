@@ -1,0 +1,883 @@
+"""Fault injection and graceful degradation for the serving stack.
+
+The paper's production takeaways (Section VI, Figure 11) come from a fleet
+where co-located replicas contend, jitter, and occasionally stall; tail
+latency is shaped as much by those faults — and by the front-end policies
+that absorb them — as by micro-architecture. This module adds both sides:
+
+* **Injectors** — a :class:`FaultSchedule` composes replica crashes
+  (:class:`ReplicaCrash`), interval slowdowns (:class:`Straggler`) and
+  effective-DRAM-bandwidth dips (:class:`BandwidthFault`), all placed on
+  the simulator's event clock. :func:`fault_storm` draws a random storm
+  from a dedicated ``np.random.default_rng(seed)`` stream so every run is
+  reproducible.
+* **Resilience policies** — :class:`ResiliencePolicy` configures
+  per-request timeouts with bounded exponential-backoff retries, hedged
+  requests (duplicate to a second replica after a fixed delay, first
+  response wins — "The Tail at Scale" tail-cutting), and
+  health-check-driven ejection/readmission of replicas.
+* **Graceful degradation** — :class:`DegradationPolicy` falls back to a
+  cheaper preset or truncates sparse lookups per table when the fleet is
+  overloaded or partially down; the quality cost of serving the fallback
+  is surfaced via :func:`degraded_quality`
+  (:mod:`repro.serving.ranking_quality`).
+* **Accounting** — :class:`~repro.serving.metrics.ResilienceStats`
+  (availability, goodput, retry/hedge counts, time in degraded mode) via
+  :meth:`FaultyServingResult.stats`.
+
+:class:`ResilientRouter` runs the fleet-level discrete-event simulation:
+M replicas of one model, Poisson query arrivals, faults from a schedule,
+and the configured policies. :class:`~repro.serving.simulator.ServingSimulator`
+accepts the same :class:`FaultSchedule` for the single-machine co-location
+view.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..analysis.distributions import LatencySummary, summarize
+from ..config.model_config import ModelConfig
+from ..core.operators.base import OP_SLS
+from ..hw.server import ServerSpec
+from ..hw.timing import TimingModel
+from .metrics import SLA, ResilienceStats, goodput_qps
+from .ranking_quality import pipeline_quality
+from .router import SERVICE_NOISE_SIGMA, pick_machine
+
+# --------------------------------------------------------------- injectors
+
+
+@dataclass(frozen=True)
+class ReplicaCrash:
+    """A replica process dies at ``at_s`` and restarts ``downtime_s`` later.
+
+    In-flight work on the replica is lost; queued work fails fast (the
+    connection is refused), which is what makes retries matter.
+    """
+
+    replica_id: int
+    at_s: float
+    downtime_s: float
+
+    def __post_init__(self) -> None:
+        if self.replica_id < 0:
+            raise ValueError("replica_id must be non-negative")
+        if self.at_s < 0:
+            raise ValueError("crash time must be non-negative")
+        if self.downtime_s <= 0:
+            raise ValueError("downtime must be positive")
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """A replica serves ``slowdown`` x slower during an interval.
+
+    Models a co-located batch job, a thermal throttle, or a GC pause train
+    — the replica stays up but its service times stretch.
+    """
+
+    replica_id: int
+    start_s: float
+    duration_s: float
+    slowdown: float
+
+    def __post_init__(self) -> None:
+        if self.replica_id < 0:
+            raise ValueError("replica_id must be non-negative")
+        if self.start_s < 0 or self.duration_s <= 0:
+            raise ValueError("straggler interval must be non-negative/positive")
+        if self.slowdown < 1.0:
+            raise ValueError("slowdown must be >= 1 (use 1 for no effect)")
+
+
+@dataclass(frozen=True)
+class BandwidthFault:
+    """Effective DRAM bandwidth drops to ``bandwidth_fraction`` of nominal.
+
+    A noisy neighbour saturating the memory controller slows only the
+    memory-bound share of an inference (the SLS time, per the paper's
+    characterization); the injected slowdown is Amdahl-scaled by that share.
+    ``replica_id`` of ``None`` hits every replica (a machine-wide or
+    rack-wide neighbour).
+    """
+
+    start_s: float
+    duration_s: float
+    bandwidth_fraction: float
+    replica_id: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0 or self.duration_s <= 0:
+            raise ValueError("fault interval must be non-negative/positive")
+        if not 0.0 < self.bandwidth_fraction <= 1.0:
+            raise ValueError("bandwidth_fraction must be in (0, 1]")
+
+
+class FaultSchedule:
+    """A composed, clock-driven set of fault injections.
+
+    The schedule is immutable and purely declarative: simulators query it
+    (``is_down`` / ``service_multiplier`` / ``transition_events``) against
+    their own event clock, so the same schedule replayed against the same
+    seed yields byte-identical runs.
+    """
+
+    def __init__(
+        self,
+        crashes: tuple[ReplicaCrash, ...] | list[ReplicaCrash] = (),
+        stragglers: tuple[Straggler, ...] | list[Straggler] = (),
+        bandwidth_faults: tuple[BandwidthFault, ...] | list[BandwidthFault] = (),
+    ) -> None:
+        self.crashes = tuple(crashes)
+        self.stragglers = tuple(stragglers)
+        self.bandwidth_faults = tuple(bandwidth_faults)
+
+    @classmethod
+    def zero(cls) -> "FaultSchedule":
+        """The empty schedule (injects nothing)."""
+        return cls()
+
+    @property
+    def is_zero(self) -> bool:
+        """True when the schedule injects nothing."""
+        return not (self.crashes or self.stragglers or self.bandwidth_faults)
+
+    # ------------------------------------------------------------- queries
+
+    def down_intervals(self, replica_id: int) -> list[tuple[float, float]]:
+        """Merged ``[start, end)`` downtime intervals for one replica."""
+        raw = sorted(
+            (c.at_s, c.at_s + c.downtime_s)
+            for c in self.crashes
+            if c.replica_id == replica_id
+        )
+        merged: list[tuple[float, float]] = []
+        for start_s, end_s in raw:
+            if merged and start_s <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], end_s))
+            else:
+                merged.append((start_s, end_s))
+        return merged
+
+    def is_down(self, replica_id: int, t_s: float) -> bool:
+        """True when the replica is crashed at time ``t_s``."""
+        return any(
+            start_s <= t_s < end_s
+            for start_s, end_s in self.down_intervals(replica_id)
+        )
+
+    def service_multiplier(
+        self, replica_id: int, t_s: float, memory_fraction: float = 1.0
+    ) -> float:
+        """Service-time multiplier on a replica at time ``t_s``.
+
+        Stragglers multiply the whole service time; bandwidth faults
+        stretch only the ``memory_fraction`` share (Amdahl's law on the
+        memory-bound portion of the inference).
+        """
+        if not 0.0 <= memory_fraction <= 1.0:
+            raise ValueError("memory_fraction must be in [0, 1]")
+        multiplier = 1.0
+        for s in self.stragglers:
+            if s.replica_id == replica_id and s.start_s <= t_s < s.start_s + s.duration_s:
+                multiplier *= s.slowdown
+        for b in self.bandwidth_faults:
+            if b.replica_id is not None and b.replica_id != replica_id:
+                continue
+            if b.start_s <= t_s < b.start_s + b.duration_s:
+                multiplier *= 1.0 + memory_fraction * (1.0 / b.bandwidth_fraction - 1.0)
+        return multiplier
+
+    def transition_events(self, num_replicas: int) -> list[tuple[float, int, bool]]:
+        """All ``(time_s, replica_id, goes_down)`` crash/restart edges."""
+        events: list[tuple[float, int, bool]] = []
+        for replica_id in range(num_replicas):
+            for start_s, end_s in self.down_intervals(replica_id):
+                events.append((start_s, replica_id, True))
+                events.append((end_s, replica_id, False))
+        events.sort()
+        return events
+
+    def downtime_s(self, replica_id: int, horizon_s: float) -> float:
+        """Total seconds the replica is down within ``[0, horizon_s)``."""
+        return sum(
+            max(0.0, min(end_s, horizon_s) - min(start_s, horizon_s))
+            for start_s, end_s in self.down_intervals(replica_id)
+        )
+
+    def healthy_fraction(self, t_s: float, num_replicas: int) -> float:
+        """Fraction of replicas up at time ``t_s`` (autoscaler feed)."""
+        if num_replicas < 1:
+            raise ValueError("need at least one replica")
+        up = sum(0 if self.is_down(r, t_s) else 1 for r in range(num_replicas))
+        return up / num_replicas
+
+
+def fault_storm(
+    num_replicas: int,
+    duration_s: float,
+    seed: int,
+    crash_count: int = 2,
+    crash_downtime_frac: tuple[float, float] = (0.05, 0.2),
+    straggler_count: int = 2,
+    straggler_slowdown: tuple[float, float] = (4.0, 10.0),
+    straggler_duration_frac: tuple[float, float] = (0.1, 0.4),
+    bandwidth_dip_count: int = 1,
+    bandwidth_fraction: tuple[float, float] = (0.3, 0.6),
+    bandwidth_duration_frac: tuple[float, float] = (0.1, 0.3),
+) -> FaultSchedule:
+    """Draw a random fault storm from a dedicated seeded stream.
+
+    Interval lengths are drawn as *fractions* of ``duration_s`` (the
+    ``*_frac`` ranges) so the same storm shape scales with the simulated
+    horizon; counts are exact.
+    """
+    if num_replicas < 1:
+        raise ValueError("need at least one replica")
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    rng = np.random.default_rng(seed)
+
+    def interval_s(frac_range: tuple[float, float]) -> float:
+        return duration_s * float(rng.uniform(*frac_range))
+
+    crashes = tuple(
+        ReplicaCrash(
+            replica_id=int(rng.integers(num_replicas)),
+            at_s=float(rng.uniform(0.0, 0.8 * duration_s)),
+            downtime_s=interval_s(crash_downtime_frac),
+        )
+        for _ in range(crash_count)
+    )
+    stragglers = tuple(
+        Straggler(
+            replica_id=int(rng.integers(num_replicas)),
+            start_s=float(rng.uniform(0.0, 0.7 * duration_s)),
+            duration_s=interval_s(straggler_duration_frac),
+            slowdown=float(rng.uniform(*straggler_slowdown)),
+        )
+        for _ in range(straggler_count)
+    )
+    bandwidth_faults = tuple(
+        BandwidthFault(
+            start_s=float(rng.uniform(0.0, 0.7 * duration_s)),
+            duration_s=interval_s(bandwidth_duration_frac),
+            bandwidth_fraction=float(rng.uniform(*bandwidth_fraction)),
+            replica_id=None,
+        )
+        for _ in range(bandwidth_dip_count)
+    )
+    return FaultSchedule(crashes, stragglers, bandwidth_faults)
+
+
+# ---------------------------------------------------------------- policies
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Front-end resilience knobs.
+
+    Attributes:
+        timeout_s: per-attempt client timeout; ``None`` waits forever.
+        max_retries: attempts re-issued after a timeout or fail-fast.
+        backoff_base_s: first retry delay; doubles per retry (exponential).
+        hedge_delay_s: issue a duplicate to a second replica this long
+            after the primary attempt; ``None`` disables hedging. Choose
+            near the no-fault p9x latency so hedges stay rare.
+        health_check_interval_s: router probe period for ejecting crashed
+            replicas and readmitting restarted ones; ``None`` gives the
+            router instantaneous health knowledge. A routed request that
+            hits a down replica fails fast and ejects it immediately
+            (passive health), whichever mode is active.
+    """
+
+    timeout_s: float | None = None
+    max_retries: int = 0
+    backoff_base_s: float = 0.001
+    hedge_delay_s: float | None = None
+    health_check_interval_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.backoff_base_s < 0:
+            raise ValueError("backoff_base_s must be non-negative")
+        if self.hedge_delay_s is not None and self.hedge_delay_s <= 0:
+            raise ValueError("hedge delay must be positive")
+        if self.health_check_interval_s is not None and self.health_check_interval_s <= 0:
+            raise ValueError("health-check interval must be positive")
+
+    @classmethod
+    def none(cls) -> "ResiliencePolicy":
+        """No timeouts, no retries, no hedging (the pre-fault stack)."""
+        return cls()
+
+    def backoff_s(self, retry_index: int) -> float:
+        """Delay before the ``retry_index``-th retry (0-based)."""
+        if retry_index < 0:
+            raise ValueError("retry index must be non-negative")
+        return self.backoff_base_s * (2.0**retry_index)
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """Graceful degradation under overload or partial failure.
+
+    When fewer than ``min_healthy_fraction`` of replicas are admitted, or
+    the mean queue depth across admitted replicas reaches
+    ``queue_depth_trigger``, new requests are served in degraded mode:
+    with ``fallback_config`` if given, else with the primary config's
+    sparse lookups truncated to ``max_lookups_per_table``.
+
+    Attributes:
+        fallback_config: cheaper preset served under pressure (e.g. RMC1
+            instead of RMC3); ``None`` uses lookup truncation instead.
+        max_lookups_per_table: cap on per-table sparse lookups in degraded
+            mode (ignored when ``fallback_config`` is set).
+        queue_depth_trigger: mean admitted-replica queue depth that flips
+            degraded mode on.
+        min_healthy_fraction: admitted-replica fraction below which
+            degraded mode engages regardless of queues.
+    """
+
+    fallback_config: ModelConfig | None = None
+    max_lookups_per_table: int | None = None
+    queue_depth_trigger: float = 4.0
+    min_healthy_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.fallback_config is None and self.max_lookups_per_table is None:
+            raise ValueError(
+                "degradation needs a fallback_config or max_lookups_per_table"
+            )
+        if self.max_lookups_per_table is not None and self.max_lookups_per_table < 1:
+            raise ValueError("max_lookups_per_table must be positive")
+        if self.queue_depth_trigger <= 0:
+            raise ValueError("queue_depth_trigger must be positive")
+        if not 0.0 < self.min_healthy_fraction <= 1.0:
+            raise ValueError("min_healthy_fraction must be in (0, 1]")
+
+    def degraded_config(self, primary: ModelConfig) -> ModelConfig:
+        """The model actually served in degraded mode."""
+        if self.fallback_config is not None:
+            return self.fallback_config
+        assert self.max_lookups_per_table is not None
+        return truncate_lookups(primary, self.max_lookups_per_table)
+
+
+def truncate_lookups(config: ModelConfig, max_lookups_per_table: int) -> ModelConfig:
+    """A copy of ``config`` with per-table sparse lookups capped.
+
+    Pooling fewer sparse IDs cuts SLS time (the memory-bound share)
+    roughly linearly at a bounded quality cost — the classic
+    recommendation degraded mode.
+    """
+    if max_lookups_per_table < 1:
+        raise ValueError("max_lookups_per_table must be positive")
+    tables = tuple(
+        replace(t, lookups_per_sample=min(t.lookups_per_sample, max_lookups_per_table))
+        for t in config.embedding_tables
+    )
+    return ModelConfig(
+        name=f"{config.name}-trunc{max_lookups_per_table}",
+        model_class=config.model_class,
+        dense_features=config.dense_features,
+        bottom_mlp=config.bottom_mlp,
+        embedding_tables=tables,
+        top_mlp=config.top_mlp,
+        dtype=config.dtype,
+        interaction=config.interaction,
+    )
+
+
+def degraded_quality(
+    primary: ModelConfig,
+    degraded: ModelConfig,
+    num_candidates: int = 200,
+    k: int = 10,
+    seed: int = 0,
+) -> dict[str, float]:
+    """Ranking-quality cost of serving ``degraded`` instead of ``primary``.
+
+    A synthetic candidate set is scored by the primary model (ground
+    truth); the degraded model's scores are the truth plus noise whose
+    scale grows with the fraction of per-sample work it drops (FLOPs and
+    gathered embedding bytes both proxy for capacity). Returns the
+    recall@k / NDCG@k of the degraded selection
+    (:func:`repro.serving.ranking_quality.pipeline_quality`).
+    """
+    if num_candidates < k:
+        raise ValueError("need at least k candidates")
+    flops_kept = degraded.flops_per_sample() / primary.flops_per_sample()
+    bytes_kept = degraded.bytes_read_per_sample() / primary.bytes_read_per_sample()
+    capacity_kept = min(1.0, 0.5 * (flops_kept + bytes_kept))
+    noise_scale = 1.0 - capacity_kept
+    rng = np.random.default_rng(seed)
+    true_scores = rng.normal(0.0, 1.0, size=num_candidates)
+    noisy_scores = true_scores + noise_scale * rng.normal(0.0, 1.0, size=num_candidates)
+    selected = list(np.argsort(noisy_scores)[::-1][:k])
+    return pipeline_quality(selected, true_scores, k)
+
+
+# --------------------------------------------------------------- simulator
+
+# Attempt states.
+_QUEUED, _RUNNING, _CANCELLED, _DONE = range(4)
+
+# Event kinds (heap entries are ``(t_s, seq, kind, a, b)``).
+_EV_ARRIVAL, _EV_COMPLETE, _EV_TIMEOUT, _EV_HEDGE, _EV_FAULT, _EV_HEALTH = range(6)
+
+
+class _Request:
+    """Mutable per-request state (client side)."""
+
+    __slots__ = (
+        "arrival_s", "done", "failed", "degraded", "latency_s",
+        "retries_used", "hedged", "live_attempts",
+    )
+
+    def __init__(self, arrival_s: float) -> None:
+        self.arrival_s = arrival_s
+        self.done = False
+        self.failed = False
+        self.degraded = False
+        self.latency_s = 0.0
+        self.retries_used = 0
+        self.hedged = False
+        self.live_attempts = 0
+
+
+class _Attempt:
+    """One routed attempt of a request (server side)."""
+
+    __slots__ = ("request_id", "machine", "state")
+
+    def __init__(self, request_id: int, machine: int) -> None:
+        self.request_id = request_id
+        self.machine = machine
+        self.state = _QUEUED
+
+
+@dataclass
+class FaultyServingResult:
+    """Outcome of one :class:`ResilientRouter` run."""
+
+    policy: ResiliencePolicy
+    num_machines: int
+    offered_qps: float
+    duration_s: float
+    sla: SLA
+    latencies_s: np.ndarray
+    offered: int
+    failed: int
+    retries: int
+    hedges: int
+    wasted_attempts: int
+    fail_fasts: int
+    ejections: int
+    degraded_completions: int
+    time_in_degraded_s: float
+    quality: dict[str, float] | None = None
+
+    @property
+    def completed(self) -> int:
+        """Requests that received a response."""
+        return int(self.latencies_s.size)
+
+    def summary(self) -> LatencySummary:
+        """Percentile summary of completed-request latencies."""
+        return summarize(self.latencies_s)
+
+    def throughput_qps(self) -> float:
+        """Completed requests per second (regardless of the SLA)."""
+        return self.completed / self.duration_s
+
+    def goodput_qps(self) -> float:
+        """In-SLO completions per second."""
+        return goodput_qps(self.latencies_s, self.sla, self.duration_s)
+
+    def availability(self) -> float:
+        """Fraction of offered requests that completed."""
+        if self.offered == 0:
+            return 1.0
+        return self.completed / self.offered
+
+    def stats(self) -> ResilienceStats:
+        """The accounting record for this run."""
+        return ResilienceStats(
+            offered=self.offered,
+            completed=self.completed,
+            failed=self.failed,
+            retries=self.retries,
+            hedges=self.hedges,
+            wasted_attempts=self.wasted_attempts,
+            degraded_completions=self.degraded_completions,
+            time_in_degraded_s=self.time_in_degraded_s,
+            duration_s=self.duration_s,
+            throughput_qps=self.throughput_qps(),
+            goodput_qps=self.goodput_qps(),
+        )
+
+
+class ResilientRouter:
+    """Fleet-level DES with fault injection and resilience policies.
+
+    M replicas of one model behind a router; Poisson query arrivals;
+    faults from a :class:`FaultSchedule`; timeouts, retries, hedging,
+    health checks and graceful degradation from the policies. Two runs
+    with identical arguments are byte-identical.
+
+    Args:
+        server: machine generation (all replicas identical).
+        config: the model each replica serves.
+        batch_size: items per query.
+        num_machines: replica count.
+        policy: resilience knobs (default: none — the pre-fault stack).
+        degradation: graceful-degradation knobs (default: never degrade).
+        routing: load-balancing policy (:data:`repro.serving.router.POLICIES`).
+        seed: RNG seed for arrivals and service noise. The fault stream is
+            seeded separately inside :func:`fault_storm`, so policy
+            comparisons can share one storm.
+    """
+
+    def __init__(
+        self,
+        server: ServerSpec,
+        config: ModelConfig,
+        batch_size: int,
+        num_machines: int,
+        policy: ResiliencePolicy | None = None,
+        degradation: DegradationPolicy | None = None,
+        routing: str = "jsq2",
+        seed: int = 0,
+    ) -> None:
+        if num_machines < 1:
+            raise ValueError("need at least one machine")
+        self.server = server
+        self.config = config
+        self.batch_size = batch_size
+        self.num_machines = num_machines
+        self.policy = policy or ResiliencePolicy.none()
+        self.degradation = degradation
+        self.routing = routing
+        self.seed = seed
+        timing = TimingModel(server)
+        base = timing.model_latency(config, batch_size)
+        self._base_service_s = base.total_seconds
+        #: Memory-bound share of an inference — the part a bandwidth fault
+        #: stretches (SLS dominates DRAM traffic in the paper's profile).
+        self._memory_fraction = base.fraction_by_op_type().get(OP_SLS, 0.0)
+        if degradation is not None:
+            degraded = degradation.degraded_config(config)
+            self._degraded_service_s = timing.model_latency(
+                degraded, batch_size
+            ).total_seconds
+            self._quality = degraded_quality(config, degraded, seed=seed)
+        else:
+            self._degraded_service_s = self._base_service_s
+            self._quality = None
+
+    def max_stable_qps(self) -> float:
+        """Arrival rate at 100% fleet utilization (no faults)."""
+        return self.num_machines / self._base_service_s
+
+    # ------------------------------------------------------------------ run
+
+    def run(
+        self,
+        offered_qps: float,
+        duration_s: float = 1.0,
+        faults: FaultSchedule | None = None,
+        sla: SLA | None = None,
+    ) -> FaultyServingResult:
+        """Simulate ``duration_s`` of Poisson arrivals under ``faults``."""
+        if offered_qps <= 0 or duration_s <= 0:
+            raise ValueError("rate and duration must be positive")
+        faults = faults or FaultSchedule.zero()
+        sla = sla or SLA(deadline_s=10.0 * self._base_service_s, percentile=0.99)
+        policy = self.policy
+        rng = np.random.default_rng(self.seed)
+
+        requests: list[_Request] = []
+        attempts: list[_Attempt] = []
+        up = [True] * self.num_machines
+        admitted = [True] * self.num_machines
+        running: list[int | None] = [None] * self.num_machines
+        queues: list[list[int]] = [[] for _ in range(self.num_machines)]
+        rr_state = [0]
+
+        retries = hedges = wasted_attempts = fail_fasts = ejections = 0
+        failed = 0
+        degraded_completions = 0
+        time_in_degraded_s = 0.0
+        degraded_on = False
+        degraded_since_s = 0.0
+        latencies: list[float] = []
+
+        events: list[tuple[float, int, int, int, int]] = []
+        seq = 0
+
+        def push(t_s: float, kind: int, a: int = 0, b: int = 0) -> None:
+            nonlocal seq
+            heapq.heappush(events, (t_s, seq, kind, a, b))
+            seq += 1
+
+        # Pre-materialize arrivals so the arrival stream is independent of
+        # policy decisions (one storm, comparable policies).
+        t_s = 0.0
+        n_offered = 0
+        while True:
+            t_s += float(rng.exponential(1.0 / offered_qps))
+            if t_s >= duration_s:
+                break
+            push(t_s, _EV_ARRIVAL, n_offered)
+            requests.append(_Request(arrival_s=t_s))
+            n_offered += 1
+
+        for edge_t_s, replica_id, goes_down in faults.transition_events(
+            self.num_machines
+        ):
+            push(edge_t_s, _EV_FAULT, replica_id, int(goes_down))
+        if policy.health_check_interval_s is not None:
+            probe_t_s = policy.health_check_interval_s
+            horizon_s = duration_s + 10.0 * self._base_service_s
+            while probe_t_s < horizon_s:
+                push(probe_t_s, _EV_HEALTH)
+                probe_t_s += policy.health_check_interval_s
+
+        # --------------------------------------------------------- helpers
+
+        def queue_len(machine: int) -> int:
+            return len(queues[machine]) + (running[machine] is not None)
+
+        def eject(machine: int) -> None:
+            nonlocal ejections
+            if admitted[machine]:
+                admitted[machine] = False
+                ejections += 1
+
+        def degraded_now(now_s: float) -> bool:
+            """Evaluate + account the degraded-mode state at ``now_s``."""
+            nonlocal degraded_on, degraded_since_s, time_in_degraded_s
+            if self.degradation is None:
+                return False
+            candidates = [m for m in range(self.num_machines) if admitted[m]]
+            healthy_frac = len(candidates) / self.num_machines
+            mean_depth = (
+                sum(queue_len(m) for m in candidates) / len(candidates)
+                if candidates
+                else float("inf")
+            )
+            on = (
+                healthy_frac < self.degradation.min_healthy_fraction
+                or mean_depth >= self.degradation.queue_depth_trigger
+            )
+            if on and not degraded_on:
+                degraded_since_s = now_s
+            elif not on and degraded_on:
+                time_in_degraded_s += now_s - degraded_since_s
+            degraded_on = on
+            return on
+
+        def start_next(machine: int, now_s: float) -> None:
+            """Dispatch the machine's queue head, skipping dead attempts."""
+            if running[machine] is not None or not up[machine]:
+                return
+            while queues[machine]:
+                attempt_id = queues[machine].pop(0)
+                attempt = attempts[attempt_id]
+                request = requests[attempt.request_id]
+                if attempt.state != _QUEUED or request.done or request.failed:
+                    if attempt.state == _QUEUED:
+                        attempt.state = _CANCELLED
+                        request.live_attempts -= 1
+                    continue
+                attempt.state = _RUNNING
+                running[machine] = attempt_id
+                base_s = (
+                    self._degraded_service_s
+                    if request.degraded
+                    else self._base_service_s
+                )
+                multiplier = faults.service_multiplier(
+                    machine, now_s, self._memory_fraction
+                )
+                sigma = SERVICE_NOISE_SIGMA
+                service_s = (
+                    base_s
+                    * multiplier
+                    * float(rng.lognormal(mean=-0.5 * sigma**2, sigma=sigma))
+                )
+                push(now_s + service_s, _EV_COMPLETE, attempt_id, machine)
+                return
+
+        def route_attempt(request_id: int, now_s: float) -> None:
+            """Route one attempt; fail fast when no healthy target exists."""
+            nonlocal fail_fasts
+            request = requests[request_id]
+            if request.done or request.failed:
+                return
+            candidates = [m for m in range(self.num_machines) if admitted[m]]
+            if not candidates:
+                attempt_failed(request_id, now_s)
+                return
+            depths = [queue_len(m) for m in range(self.num_machines)]
+            machine = pick_machine(
+                self.routing, rng, depths, rr_state, candidates=candidates
+            )
+            if not up[machine]:
+                # Connection refused: passive health detection.
+                fail_fasts += 1
+                eject(machine)
+                attempt_failed(request_id, now_s)
+                return
+            attempt = _Attempt(request_id, machine)
+            attempt_id = len(attempts)
+            attempts.append(attempt)
+            request.live_attempts += 1
+            queues[machine].append(attempt_id)
+            if policy.timeout_s is not None:
+                push(now_s + policy.timeout_s, _EV_TIMEOUT, attempt_id)
+            start_next(machine, now_s)
+
+        def attempt_failed(request_id: int, now_s: float) -> None:
+            """An attempt died; retry with backoff or fail the request."""
+            nonlocal retries, failed
+            request = requests[request_id]
+            if request.done or request.failed or request.live_attempts > 0:
+                return  # a hedge twin is still in flight
+            if request.retries_used < policy.max_retries:
+                delay_s = policy.backoff_s(request.retries_used)
+                request.retries_used += 1
+                retries += 1
+                push(now_s + delay_s, _EV_ARRIVAL, request_id, 1)
+            else:
+                request.failed = True
+                failed += 1
+
+        # ------------------------------------------------------- event loop
+
+        while events:
+            now_s, _, kind, a, b = heapq.heappop(events)
+
+            if kind == _EV_ARRIVAL:
+                request_id, is_retry = a, bool(b)
+                request = requests[request_id]
+                if request.done or request.failed:
+                    continue
+                if not is_retry:
+                    request.degraded = degraded_now(now_s)
+                if (
+                    not is_retry
+                    and policy.hedge_delay_s is not None
+                ):
+                    push(now_s + policy.hedge_delay_s, _EV_HEDGE, request_id)
+                route_attempt(request_id, now_s)
+
+            elif kind == _EV_COMPLETE:
+                attempt_id, machine = a, b
+                attempt = attempts[attempt_id]
+                if running[machine] != attempt_id:
+                    continue  # killed by a crash; the restart superseded it
+                running[machine] = None
+                if attempt.state == _CANCELLED:
+                    # Abandoned by a timeout but ran to completion anyway:
+                    # the occupancy was real, the response is discarded.
+                    wasted_attempts += 1
+                    start_next(machine, now_s)
+                    continue
+                attempt.state = _DONE
+                request = requests[attempt.request_id]
+                request.live_attempts -= 1
+                if request.done or request.failed:
+                    wasted_attempts += 1
+                else:
+                    request.done = True
+                    request.latency_s = now_s - request.arrival_s
+                    latencies.append(request.latency_s)
+                    if request.degraded:
+                        degraded_completions += 1
+                start_next(machine, now_s)
+
+            elif kind == _EV_TIMEOUT:
+                attempt_id = a
+                attempt = attempts[attempt_id]
+                request = requests[attempt.request_id]
+                if request.done or request.failed or attempt.state in (_CANCELLED, _DONE):
+                    continue
+                # The client abandons this attempt. Queued work is dropped;
+                # in-flight work cannot be yanked back — it keeps occupying
+                # the machine and completes as waste (see _EV_COMPLETE).
+                attempt.state = _CANCELLED
+                request.live_attempts -= 1
+                attempt_failed(attempt.request_id, now_s)
+
+            elif kind == _EV_HEDGE:
+                request_id = a
+                request = requests[request_id]
+                if request.done or request.failed or request.live_attempts == 0:
+                    continue
+                hedges += 1
+                request.hedged = True
+                route_attempt(request_id, now_s)
+
+            elif kind == _EV_FAULT:
+                machine, goes_down = a, bool(b)
+                if goes_down:
+                    up[machine] = False
+                    if policy.health_check_interval_s is None:
+                        eject(machine)
+                    attempt_id = running[machine]
+                    if attempt_id is not None:
+                        running[machine] = None
+                        attempt = attempts[attempt_id]
+                        if attempt.state == _RUNNING:
+                            attempt.state = _CANCELLED
+                            requests[attempt.request_id].live_attempts -= 1
+                            attempt_failed(attempt.request_id, now_s)
+                    # Queued work fails fast (connection reset).
+                    dead, queues[machine] = queues[machine], []
+                    for attempt_id in dead:
+                        attempt = attempts[attempt_id]
+                        if attempt.state == _QUEUED:
+                            attempt.state = _CANCELLED
+                            requests[attempt.request_id].live_attempts -= 1
+                            attempt_failed(attempt.request_id, now_s)
+                else:
+                    up[machine] = True
+                    if policy.health_check_interval_s is None:
+                        admitted[machine] = True
+
+            elif kind == _EV_HEALTH:
+                for machine in range(self.num_machines):
+                    admitted[machine] = up[machine]
+
+        if degraded_on:
+            time_in_degraded_s += duration_s - degraded_since_s
+        # Unresolved requests at drain end (e.g. waiting forever on a down
+        # replica with no timeout) are neither completed nor failed; they
+        # count against availability via ``offered``.
+        return FaultyServingResult(
+            policy=policy,
+            num_machines=self.num_machines,
+            offered_qps=offered_qps,
+            duration_s=duration_s,
+            sla=sla,
+            latencies_s=np.asarray(latencies, dtype=np.float64),
+            offered=n_offered,
+            failed=failed,
+            retries=retries,
+            hedges=hedges,
+            wasted_attempts=wasted_attempts,
+            fail_fasts=fail_fasts,
+            ejections=ejections,
+            degraded_completions=degraded_completions,
+            time_in_degraded_s=time_in_degraded_s,
+            quality=self._quality,
+        )

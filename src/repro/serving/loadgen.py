@@ -1,12 +1,16 @@
 """Load generation for serving simulations.
 
-Two standard modes:
+Three modes:
 
 * :class:`PoissonLoadGenerator` — open-loop arrivals at a target rate, the
   regime data-center front-ends see; exposes queueing delay.
 * :class:`ClosedLoopLoadGenerator` — a fixed number of outstanding clients,
   each issuing a new query when the previous one completes; the regime the
   paper's co-location experiments run in (N models, each always busy).
+* :class:`SpikeLoadGenerator` — open-loop Poisson with interval rate
+  multipliers: the failover / retry-storm / flash-crowd traffic shapes the
+  fault-injection layer (:mod:`repro.serving.faults`) stresses degraded
+  fleets with.
 """
 
 from __future__ import annotations
@@ -68,6 +72,98 @@ class PoissonLoadGenerator:
                 break
             queries.append(Query(query_id=qid, arrival_s=t, num_items=self.num_items))
             qid += 1
+        return queries
+
+
+@dataclass(frozen=True)
+class LoadSpike:
+    """One interval during which the offered rate is multiplied.
+
+    Attributes:
+        start_s: spike onset.
+        duration_s: spike length.
+        multiplier: rate multiplier while active (>= 0; a multiplier below
+            1 models a brown-out where upstream sheds load).
+    """
+
+    start_s: float
+    duration_s: float
+    multiplier: float
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0 or self.duration_s <= 0:
+            raise ValueError("spike interval must be non-negative/positive")
+        if self.multiplier < 0:
+            raise ValueError("spike multiplier must be non-negative")
+
+
+class SpikeLoadGenerator:
+    """Poisson arrivals whose rate jumps during configured spikes.
+
+    Implemented by thinning: candidates are drawn at the maximum rate and
+    accepted with probability ``rate(t) / max_rate``, so the stream is
+    exact and fully determined by ``seed``.
+
+    Args:
+        base_qps: rate outside every spike.
+        spikes: the rate-multiplier intervals (may overlap; multipliers
+            compound).
+        num_items: items per query.
+        seed: RNG seed.
+    """
+
+    def __init__(
+        self,
+        base_qps: float,
+        spikes: tuple[LoadSpike, ...] | list[LoadSpike] = (),
+        num_items: int = 1,
+        seed: int = 0,
+    ) -> None:
+        if base_qps <= 0:
+            raise ValueError("rate must be positive")
+        if num_items < 1:
+            raise ValueError("num_items must be positive")
+        self.base_qps = base_qps
+        self.spikes = tuple(spikes)
+        self.num_items = num_items
+        self._rng = np.random.default_rng(seed)
+
+    def rate_at(self, t_s: float) -> float:
+        """Instantaneous offered rate (qps) at time ``t_s``."""
+        rate = self.base_qps
+        for spike in self.spikes:
+            if spike.start_s <= t_s < spike.start_s + spike.duration_s:
+                rate *= spike.multiplier
+        return rate
+
+    def max_rate_qps(self) -> float:
+        """Upper bound on the instantaneous rate (thinning envelope)."""
+        rate = self.base_qps
+        # Overlapping spikes compound, so the bound multiplies every
+        # above-1 multiplier together.
+        for spike in self.spikes:
+            if spike.multiplier > 1.0:
+                rate *= spike.multiplier
+        return rate
+
+    def generate(self, duration_s: float) -> list[Query]:
+        """All queries arriving within ``duration_s``."""
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        envelope_qps = self.max_rate_qps()
+        queries: list[Query] = []
+        t = 0.0
+        qid = 0
+        while True:
+            t += float(self._rng.exponential(1.0 / envelope_qps))
+            if t >= duration_s:
+                break
+            accept = float(self._rng.uniform()) < self.rate_at(t) / envelope_qps
+            if accept:
+                queries.append(
+                    Query(query_id=qid, arrival_s=t, num_items=self.num_items)
+                )
+                qid += 1
         return queries
 
 

@@ -34,6 +34,45 @@ POLICIES = ("round_robin", "random", "jsq2")
 SERVICE_NOISE_SIGMA = 0.10
 
 
+def pick_machine(
+    policy: str,
+    rng: np.random.Generator,
+    queue_depth: list[int],
+    rr_state: list[int],
+    candidates: list[int] | None = None,
+) -> int:
+    """Select a target machine under one of :data:`POLICIES`.
+
+    Shared by :class:`RequestRouter` (happy path) and
+    :class:`repro.serving.faults.ResilientRouter` (which restricts
+    ``candidates`` to replicas its health checks still admit).
+
+    Args:
+        policy: one of :data:`POLICIES`.
+        rng: the caller's seeded generator.
+        queue_depth: current depth per machine (indexed by machine id).
+        rr_state: single-element mutable round-robin cursor.
+        candidates: admissible machine ids; ``None`` means all.
+    """
+    if policy not in POLICIES:
+        raise ValueError(f"unknown policy {policy!r}; valid: {POLICIES}")
+    pool = list(range(len(queue_depth))) if candidates is None else list(candidates)
+    if not pool:
+        raise ValueError("no candidate machines to route to")
+    if policy == "round_robin":
+        machine = pool[rr_state[0] % len(pool)]
+        rr_state[0] += 1
+        return machine
+    if policy == "random":
+        return int(pool[int(rng.integers(len(pool)))])
+    # jsq2: sample two distinct candidates, pick the shorter queue.
+    if len(pool) == 1:
+        return pool[0]
+    a, b = rng.choice(len(pool), size=2, replace=False)
+    a, b = pool[int(a)], pool[int(b)]
+    return a if queue_depth[a] <= queue_depth[b] else b
+
+
 @dataclass(frozen=True)
 class RoutingResult:
     """Outcome of one routing simulation."""
@@ -97,17 +136,7 @@ class RequestRouter:
         return self.num_machines / self._base_service
 
     def _pick_machine(self, queue_depth: list[int], rr_state: list[int]) -> int:
-        if self.policy == "round_robin":
-            machine = rr_state[0] % self.num_machines
-            rr_state[0] += 1
-            return machine
-        if self.policy == "random":
-            return int(self._rng.integers(self.num_machines))
-        # jsq2: sample two distinct machines, pick the shorter queue.
-        if self.num_machines == 1:
-            return 0
-        a, b = self._rng.choice(self.num_machines, size=2, replace=False)
-        return int(a if queue_depth[a] <= queue_depth[b] else b)
+        return pick_machine(self.policy, self._rng, queue_depth, rr_state)
 
     def run(self, offered_qps: float, duration_s: float = 1.0) -> RoutingResult:
         """Simulate ``duration_s`` of Poisson arrivals at ``offered_qps``."""

@@ -20,14 +20,19 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 from functools import lru_cache
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..analysis.distributions import LatencySummary, summarize
 from ..config.model_config import ModelConfig
+from ..core.operators.base import OP_SLS
 from ..hw.colocation import ColocationState
 from ..hw.server import ServerSpec
 from ..hw.timing import ModelLatency, TimingModel
+
+if TYPE_CHECKING:
+    from .faults import FaultSchedule
 
 #: Baseline multiplicative latency noise (OS jitter, clock, queue probes).
 BASE_NOISE_SIGMA = 0.04
@@ -38,6 +43,22 @@ BASE_NOISE_SIGMA = 0.04
 #: of the co-location latency levels so the Figure-11a modes stay separable.
 CONTENTION_NOISE_INCLUSIVE = 0.08
 CONTENTION_NOISE_EXCLUSIVE = 0.03
+
+
+def stable_fc_seed(input_dim: int, output_dim: int) -> int:
+    """Process-stable RNG seed for an FC-probe dimension pair.
+
+    Replaces ``hash((input_dim, output_dim))``: ``hash()`` is an
+    interpreter detail — stable for ints only by accident of
+    implementation, and ``PYTHONHASHSEED``-salted the moment a dimension
+    arrives as anything str-like — so the probe's noise stream was
+    silently coupled to interpreter state. This spread (two large odd
+    multipliers, xor-mixed) is explicit, deterministic everywhere, and
+    keeps distinct dimension pairs on distinct streams.
+    """
+    if input_dim < 1 or output_dim < 1:
+        raise ValueError("FC dimensions must be positive")
+    return (input_dim * 73_856_093 ^ output_dim * 19_349_663) % (2**32)
 
 
 @dataclass(frozen=True)
@@ -64,7 +85,14 @@ class InferenceRecord:
 
 @dataclass
 class SimulationResult:
-    """Outcome of one serving simulation."""
+    """Outcome of one serving simulation.
+
+    ``offered`` counts every arrival the simulation generated (including
+    closed-loop re-issues); ``killed`` counts inferences lost in flight to
+    a replica crash. Both are zero-fault-compatible: without a fault
+    schedule ``killed`` is 0 and every offered arrival eventually
+    completes or is still queued at the horizon.
+    """
 
     server_name: str
     model_name: str
@@ -72,6 +100,9 @@ class SimulationResult:
     num_instances: int
     duration_s: float
     records: list[InferenceRecord]
+    offered: int = 0
+    killed: int = 0
+    downtime_s: float = 0.0
 
     def latencies_s(self) -> np.ndarray:
         """End-to-end latency of every completed inference."""
@@ -95,6 +126,12 @@ class SimulationResult:
         """Active co-located jobs observed at each dispatch."""
         return np.array([r.active_jobs for r in self.records], dtype=np.int64)
 
+    def availability(self) -> float:
+        """Fraction of offered arrivals that completed (1.0 when idle)."""
+        if self.offered == 0:
+            return 1.0
+        return len(self.records) / self.offered
+
 
 class ServingSimulator:
     """Simulates co-located model instances on one server socket.
@@ -109,6 +146,12 @@ class ServingSimulator:
             ``None`` runs closed-loop (every instance always busy).
         hyperthreading: two instances per physical core.
         seed: RNG seed.
+        faults: optional :class:`~repro.serving.faults.FaultSchedule`
+            injected on this machine's event clock. Crashes kill the
+            in-flight inference and park the instance; stragglers and
+            bandwidth dips multiply service times. A zero schedule (or
+            ``None``) reproduces the fault-free run record-for-record —
+            fault handling never touches the main RNG stream.
     """
 
     def __init__(
@@ -120,6 +163,7 @@ class ServingSimulator:
         per_instance_qps: float | None = None,
         hyperthreading: bool = False,
         seed: int = 0,
+        faults: "FaultSchedule | None" = None,
     ) -> None:
         if num_instances < 1:
             raise ValueError("need at least one instance")
@@ -131,10 +175,16 @@ class ServingSimulator:
         self.num_instances = num_instances
         self.per_instance_qps = per_instance_qps
         self.hyperthreading = hyperthreading
+        self.faults = faults
         self.timing = TimingModel(server)
         self._rng = np.random.default_rng(seed)
         self._resident = self.timing.resident_bytes(config)
         self._traffic = self.timing.estimate_random_traffic_gbps(config, batch_size)
+        #: Memory-bound share of an uncontended inference: the part a
+        #: DRAM-bandwidth fault stretches (SLS dominates DRAM traffic).
+        self._memory_fraction = (
+            self._base_latency(1).fraction_by_op_type().get(OP_SLS, 0.0)
+        )
 
     # ------------------------------------------------------------- services
 
@@ -176,6 +226,8 @@ class ServingSimulator:
         if duration_s <= 0:
             raise ValueError("duration must be positive")
         rng = self._rng
+        faults = self.faults
+        fault_active = faults is not None and not faults.is_zero
         # Per-instance FIFO: next arrival stream.
         arrivals: list[list[float]] = []
         for i in range(self.num_instances):
@@ -191,16 +243,33 @@ class ServingSimulator:
                     times.append(t)
                 arrivals.append(times)
 
-        # Event queue holds (time, seq, kind, instance); kinds: 0 arrival,
-        # 1 completion.
-        events: list[tuple[float, int, int, int]] = []
+        # Event queue holds (time, seq, kind, instance, epoch); kinds:
+        # 0 arrival, 1 completion, 2 replica crash, 3 replica restart.
+        # The per-instance epoch invalidates the completion event of an
+        # inference killed in flight by a crash. With no fault schedule no
+        # crash/restart events exist and the loop below consumes the RNG
+        # stream exactly as the fault-free simulator did.
+        events: list[tuple[float, int, int, int, int]] = []
         seq = 0
         for i, times in enumerate(arrivals):
             for t in times:
-                heapq.heappush(events, (t, seq, 0, i))
+                heapq.heappush(events, (t, seq, 0, i, 0))
+                seq += 1
+        offered = seq
+        if fault_active:
+            assert faults is not None
+            for edge_t_s, replica_id, goes_down in faults.transition_events(
+                self.num_instances
+            ):
+                heapq.heappush(
+                    events, (edge_t_s, seq, 2 if goes_down else 3, replica_id, 0)
+                )
                 seq += 1
 
         busy = [False] * self.num_instances
+        down = [False] * self.num_instances
+        epoch = [0] * self.num_instances
+        killed = 0
         queues: list[list[float]] = [[] for _ in range(self.num_instances)]
         current: list[InferenceRecord | None] = [None] * self.num_instances
         records: list[InferenceRecord] = []
@@ -209,6 +278,11 @@ class ServingSimulator:
             nonlocal seq
             active = sum(busy) + 1
             service = self.sample_service_s(active, rng)
+            if fault_active:
+                assert faults is not None
+                service *= faults.service_multiplier(
+                    instance, now, self._memory_fraction
+                )
             busy[instance] = True
             current[instance] = InferenceRecord(
                 instance_id=instance,
@@ -218,19 +292,21 @@ class ServingSimulator:
                 active_jobs=active,
                 service_s=service,
             )
-            heapq.heappush(events, (now + service, seq, 1, instance))
+            heapq.heappush(events, (now + service, seq, 1, instance, epoch[instance]))
             seq += 1
 
         while events:
-            now, _, kind, instance = heapq.heappop(events)
+            now, _, kind, instance, ev_epoch = heapq.heappop(events)
             if now >= duration_s and kind == 0:
                 continue
             if kind == 0:  # arrival
-                if busy[instance]:
+                if busy[instance] or down[instance]:
                     queues[instance].append(now)
                 else:
                     dispatch(instance, now, now)
-            else:  # completion
+            elif kind == 1:  # completion
+                if ev_epoch != epoch[instance]:
+                    continue  # the inference was killed by a crash
                 record = current[instance]
                 assert record is not None
                 records.append(record)
@@ -242,8 +318,32 @@ class ServingSimulator:
                     arrival = queues[instance].pop(0)
                     dispatch(instance, arrival, now)
                 elif self.per_instance_qps is None:
+                    offered += 1
                     dispatch(instance, now, now)  # closed loop re-issue
+            elif kind == 2:  # replica crash
+                down[instance] = True
+                epoch[instance] += 1
+                if busy[instance]:
+                    killed += 1
+                    busy[instance] = False
+                    current[instance] = None
+            else:  # kind == 3: replica restart
+                down[instance] = False
+                if now >= duration_s:
+                    continue
+                if queues[instance]:
+                    arrival = queues[instance].pop(0)
+                    dispatch(instance, arrival, now)
+                elif self.per_instance_qps is None and not busy[instance]:
+                    offered += 1
+                    dispatch(instance, now, now)  # closed loop resumes
 
+        downtime_s = 0.0
+        if fault_active:
+            assert faults is not None
+            downtime_s = sum(
+                faults.downtime_s(i, duration_s) for i in range(self.num_instances)
+            )
         return SimulationResult(
             server_name=self.server.name,
             model_name=self.config.name,
@@ -251,6 +351,9 @@ class ServingSimulator:
             num_instances=self.num_instances,
             duration_s=duration_s,
             records=records,
+            offered=offered,
+            killed=killed,
+            downtime_s=downtime_s,
         )
 
     # --------------------------------------------------- operator-level view
@@ -273,7 +376,7 @@ class ServingSimulator:
         act_bytes = fc_batch * (input_dim + output_dim) * 4
         flops = 2 * fc_batch * input_dim * output_dim
         samples = np.empty(len(result.records), dtype=np.float64)
-        rng = np.random.default_rng(hash((input_dim, output_dim)) % (2**32))
+        rng = np.random.default_rng(stable_fc_seed(input_dim, output_dim))
         base_cache: dict[int, float] = {}
         for i, record in enumerate(result.records):
             active = record.active_jobs

@@ -1,0 +1,61 @@
+"""Shared fixtures: golden-output comparison with an update flag."""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/goldens/*.json from current experiment outputs",
+    )
+
+
+def round_sig(value, digits=6):
+    """Round to significant digits so goldens survive tiny FP drift."""
+    if isinstance(value, dict):
+        return {k: round_sig(v, digits) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [round_sig(v, digits) for v in value]
+    if isinstance(value, bool) or not isinstance(value, float):
+        return value
+    if value == 0.0 or not math.isfinite(value):
+        return value
+    return round(value, digits - 1 - math.floor(math.log10(abs(value))))
+
+
+@pytest.fixture
+def golden(request):
+    """Compare a JSON-serializable payload against a checked-in golden.
+
+    Run ``pytest tests/test_goldens.py --update-goldens`` after an
+    intentional behavior change to refresh the files, and commit the diff.
+    """
+
+    def check(name: str, payload) -> None:
+        canonical = round_sig(payload)
+        path = GOLDEN_DIR / f"{name}.json"
+        text = json.dumps(canonical, indent=2, sort_keys=True) + "\n"
+        if request.config.getoption("--update-goldens"):
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text)
+            return
+        if not path.exists():
+            pytest.fail(
+                f"golden {path} is missing - generate it with "
+                "pytest tests/test_goldens.py --update-goldens"
+            )
+        expected = json.loads(path.read_text())
+        assert canonical == expected, (
+            f"golden mismatch for {name}; if the change is intentional, "
+            "refresh with pytest tests/test_goldens.py --update-goldens"
+        )
+
+    return check

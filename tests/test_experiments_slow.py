@@ -4,6 +4,8 @@ import pytest
 
 from repro.experiments import fig05_intensity_mpki, fig09_colocation, fig11_tail_latency
 
+pytestmark = pytest.mark.slow
+
 
 class TestFigure5:
     @pytest.fixture(scope="class")

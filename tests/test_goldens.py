@@ -1,0 +1,87 @@
+"""Golden-output regression tests for key experiments.
+
+Each test reduces an experiment to a canonical JSON payload (floats rounded
+to 6 significant digits) and compares it against a checked-in golden.
+Refresh after intentional model changes with::
+
+    PYTHONPATH=src python -m pytest tests/test_goldens.py --update-goldens
+"""
+
+from repro.experiments import fig09_colocation, fig11_tail_latency, fig11x_faults
+
+
+def test_fig09_colocation_golden(golden):
+    result = fig09_colocation.run()
+    models = sorted({c.model_name for c in result.cells})
+    jobs = sorted({c.num_jobs for c in result.cells})
+    payload = {
+        "server": result.server_name,
+        "batch_size": result.batch_size,
+        "cells": {
+            model: {
+                str(n): {
+                    "latency_ms": result.latency(model, n).total_seconds * 1e3,
+                    "degradation": result.degradation(model, n),
+                    "sls_share": result.sls_share(model, n),
+                }
+                for n in jobs
+            }
+            for model in models
+        },
+    }
+    golden("fig09_colocation", payload)
+
+
+def test_fig11_tail_latency_golden(golden):
+    result = fig11_tail_latency.run(
+        regimes=(1, 8),
+        curve_jobs=(1, 8, 16),
+        duration_s=0.15,
+        seed=11,
+    )
+    payload = {}
+    for server_name, server in sorted(result.servers.items()):
+        payload[server_name] = {
+            "modes": server.modes,
+            "pooled_count": int(server.pooled_samples_us.size),
+            "p99_growth_small": server.p99_growth(server.curve_small),
+            "p99_growth_large": server.p99_growth(server.curve_large),
+            "curve_small_p99_us": [
+                p.summary.p99 for p in server.curve_small
+            ],
+            "curve_large_p99_us": [
+                p.summary.p99 for p in server.curve_large
+            ],
+        }
+    golden("fig11_tail_latency", payload)
+
+
+def test_fig11x_faults_golden(golden):
+    result = fig11x_faults.run(num_machines=4, duration_s=0.4, seed=11)
+    payload = {
+        "server": result.server_name,
+        "model": result.model_name,
+        "offered_qps": result.offered_qps,
+        "sla_deadline_s": result.sla_deadline_s,
+        "storm": {
+            "crashes": len(result.storm.crashes),
+            "stragglers": len(result.storm.stragglers),
+            "bandwidth_faults": len(result.storm.bandwidth_faults),
+        },
+        "policies": {
+            name: {
+                "p50_s": outcome.summary.p50,
+                "p99_s": outcome.summary.p99,
+                "p999_s": outcome.summary.p999,
+                "offered": outcome.stats.offered,
+                "completed": outcome.stats.completed,
+                "failed": outcome.stats.failed,
+                "retries": outcome.stats.retries,
+                "hedges": outcome.stats.hedges,
+                "goodput_qps": outcome.stats.goodput_qps,
+                "availability": outcome.stats.availability,
+            }
+            for name, outcome in sorted(result.outcomes.items())
+        },
+    }
+    golden("fig11x_faults", payload)

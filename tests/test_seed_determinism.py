@@ -1,0 +1,116 @@
+"""Seed-determinism regression tests across the serving stack.
+
+Every stochastic component must be a pure function of its explicit seed:
+identical seeds give byte-identical results, different seeds differ, and
+no RNG is derived from process-dependent state (``hash()`` salting was the
+one offender — pinned here via :func:`repro.serving.stable_fc_seed`).
+"""
+
+import json
+
+import numpy as np
+
+from repro.config import RMC1_SMALL, RMC2_SMALL
+from repro.hw import BROADWELL
+from repro.serving import (
+    ResiliencePolicy,
+    ResilientRouter,
+    ServingSimulator,
+    SpikeLoadGenerator,
+    LoadSpike,
+    fault_storm,
+    stable_fc_seed,
+)
+
+
+def _summary_bytes(seed: int) -> bytes:
+    """Canonical byte serialization of one seeded simulation summary."""
+    sim = ServingSimulator(
+        BROADWELL, RMC2_SMALL, 16, num_instances=2, per_instance_qps=800,
+        seed=seed,
+    )
+    result = sim.run(0.25)
+    summary = result.summary()
+    payload = {
+        "count": summary.count,
+        "mean": summary.mean,
+        "p50": summary.p50,
+        "p99": summary.p99,
+        "p999": summary.p999,
+        "offered": result.offered,
+    }
+    return json.dumps(payload, sort_keys=True).encode()
+
+
+class TestSimulatorSeeds:
+    def test_identical_seeds_byte_identical_summaries(self):
+        assert _summary_bytes(5) == _summary_bytes(5)
+
+    def test_different_seeds_differ(self):
+        assert _summary_bytes(5) != _summary_bytes(6)
+
+
+class TestRouterSeeds:
+    def _run(self, seed: int, fault_seed: int) -> np.ndarray:
+        router = ResilientRouter(
+            BROADWELL, RMC1_SMALL, 8, 4,
+            policy=ResiliencePolicy(timeout_s=0.002, max_retries=1,
+                                    hedge_delay_s=0.0005),
+            seed=seed,
+        )
+        storm = fault_storm(4, 0.2, seed=fault_seed)
+        return router.run(15000.0, 0.2, faults=storm).latencies_s
+
+    def test_identical_seeds_identical_latencies(self):
+        np.testing.assert_array_equal(self._run(9, 2), self._run(9, 2))
+
+    def test_router_seed_changes_latencies(self):
+        assert not np.array_equal(self._run(9, 2), self._run(10, 2))
+
+    def test_fault_seed_changes_latencies(self):
+        assert not np.array_equal(self._run(9, 2), self._run(9, 3))
+
+
+class TestLoadGeneratorSeeds:
+    def test_spike_generator_reproducible(self):
+        spikes = (LoadSpike(start_s=0.05, duration_s=0.1, multiplier=3.0),)
+
+        def arrivals(seed):
+            gen = SpikeLoadGenerator(2000.0, spikes=spikes, seed=seed)
+            return [q.arrival_s for q in gen.generate(0.3)]
+
+        assert arrivals(4) == arrivals(4)
+        assert arrivals(4) != arrivals(5)
+
+
+class TestStableFcSeed:
+    """Pin the hash()-free seed derivation for FC latency sampling.
+
+    The previous derivation used ``hash((input_dim, output_dim))``, whose
+    value is only stable by accident of CPython's int hashing; these pins
+    fail loudly if anyone reintroduces interpreter-dependent seeding.
+    """
+
+    def test_pinned_values(self):
+        assert stable_fc_seed(512, 512) == 2204730368
+        assert stable_fc_seed(256, 64) == 790919872
+        assert stable_fc_seed(64, 256) == 1056802880
+
+    def test_fits_in_uint32(self):
+        for input_dim in (1, 7, 512, 65536):
+            for output_dim in (1, 13, 1024):
+                seed = stable_fc_seed(input_dim, output_dim)
+                assert 0 <= seed < 2**32
+
+    def test_asymmetric_in_layout(self):
+        assert stable_fc_seed(256, 64) != stable_fc_seed(64, 256)
+
+    def test_fc_latency_samples_use_stable_seed(self):
+        sim = ServingSimulator(
+            BROADWELL, RMC2_SMALL, 16, num_instances=1,
+            per_instance_qps=500, seed=0,
+        )
+        result = sim.run(0.1)
+        a = sim.fc_latency_samples(result, 512, 512)
+        b = sim.fc_latency_samples(result, 512, 512)
+        np.testing.assert_array_equal(a, b)
