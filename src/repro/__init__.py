@@ -8,10 +8,23 @@ Public API highlights:
 * :mod:`repro.hw` -- Haswell/Broadwell/Skylake server timing simulator.
 * :mod:`repro.serving` -- batching, co-location, SLA and fleet simulation.
 * :mod:`repro.data` -- dense/sparse input generators and embedding traces.
+* :mod:`repro.obs` -- request tracing, metrics registry, operator profiling.
 * :mod:`repro.experiments` -- one module per paper figure/table.
 """
 
-from . import analysis, config, core, data, experiments, hw, memory, serving, train, validation
+from . import (
+    analysis,
+    config,
+    core,
+    data,
+    experiments,
+    hw,
+    memory,
+    obs,
+    serving,
+    train,
+    validation,
+)
 
 __version__ = "1.0.0"
 
@@ -23,6 +36,7 @@ __all__ = [
     "experiments",
     "hw",
     "memory",
+    "obs",
     "serving",
     "train",
     "validation",

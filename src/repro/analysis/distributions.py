@@ -13,6 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs.quantiles import quantile
+
 
 @dataclass(frozen=True)
 class LatencySummary:
@@ -42,11 +44,11 @@ def summarize(samples) -> LatencySummary:
     return LatencySummary(
         count=int(arr.size),
         mean=float(arr.mean()),
-        p5=float(np.percentile(arr, 5)),
-        p50=float(np.percentile(arr, 50)),
-        p95=float(np.percentile(arr, 95)),
-        p99=float(np.percentile(arr, 99)),
-        p999=float(np.percentile(arr, 99.9)),
+        p5=quantile(arr, 0.05),
+        p50=quantile(arr, 0.50),
+        p95=quantile(arr, 0.95),
+        p99=quantile(arr, 0.99),
+        p999=quantile(arr, 0.999),
     )
 
 

@@ -30,6 +30,8 @@ from ..config.model_config import ModelConfig
 from ..config.presets import RMC1_SMALL
 from ..hw.server import BROADWELL, ServerSpec
 from ..hw.timing import TimingModel
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import NullTracer, Tracer
 from ..serving.faults import (
     DegradationPolicy,
     FaultSchedule,
@@ -133,6 +135,9 @@ def run(
     degraded_lookups: int = 4,
     storm: FaultSchedule | None = None,
     seed: int = 11,
+    tracer: Tracer | NullTracer | None = None,
+    metrics: MetricsRegistry | None = None,
+    trace_policy: str = "retry+hedge",
 ) -> Figure11xResult:
     """Replay one seeded fault storm against the resilience-policy ladder.
 
@@ -148,6 +153,13 @@ def run(
         storm: explicit fault schedule; default draws a storm of crashes,
             stragglers and a bandwidth dip from ``seed + 1``.
         seed: arrival/service RNG seed (shared by every policy).
+        tracer: optional :class:`~repro.obs.tracer.Tracer` that records the
+            ``trace_policy`` ladder rung's run (one rung only, so the
+            exported timeline stays readable). The default nil tracer
+            records nothing and the run is bit-identical.
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry` every
+            rung records into, labelled ``policy=<name>``.
+        trace_policy: which ladder rung the ``tracer`` observes.
     """
     if not 0.0 < utilization < 1.0:
         raise ValueError("utilization must be in (0, 1)")
@@ -180,6 +192,9 @@ def run(
             policy=policy,
             degradation=degradation,
             seed=seed,
+            tracer=tracer if name == trace_policy else None,
+            metrics=metrics,
+            metrics_labels={"policy": name},
         )
         result = router.run(offered_qps, duration_s, faults=storm, sla=sla)
         outcomes[name] = PolicyOutcome(

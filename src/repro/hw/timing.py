@@ -23,6 +23,7 @@ documented in DESIGN.md §5 and asserted by
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..config.model_config import ModelConfig
 from ..core.graph import OpSpec, config_ops
@@ -43,6 +44,9 @@ from .colocation import (
 )
 from .server import ServerSpec
 from .simd import _interp_log_batch, effective_gflops
+
+if TYPE_CHECKING:
+    from ..obs.profile import OpProfiler
 
 #: Framework dispatch overhead per operator invocation (seconds).
 OP_OVERHEAD_S = 0.2e-6
@@ -118,11 +122,28 @@ class ModelLatency:
 
 
 class TimingModel:
-    """Latency predictor for one server generation."""
+    """Latency predictor for one server generation.
 
-    def __init__(self, server: ServerSpec) -> None:
+    Args:
+        server: the Table-II server generation to price operators on.
+        profiler: optional :class:`~repro.obs.profile.OpProfiler`; when
+            set, every operator this model prices is reported to it with
+            its simulated cycles and the bytes it touches. Profiling is
+            observational only — it never changes a priced latency.
+    """
+
+    def __init__(self, server: ServerSpec, profiler: "OpProfiler | None" = None) -> None:
         self.server = server
         self.contention = ContentionModel(server)
+        self.profiler = profiler
+
+    def _profile_op(self, op: OperatorTime, bytes_moved: float) -> OperatorTime:
+        """Report a priced operator to the attached profiler, if any."""
+        if self.profiler is not None:
+            self.profiler.record_timed_op(
+                op, self.server.frequency_ghz, bytes_moved
+            )
+        return op
 
     # -------------------------------------------------------------- dense
 
@@ -165,13 +186,14 @@ class TimingModel:
             # DRAM weight streaming does not fully hide behind compute.
             base += DRAM_STREAM_OVERLAP_TAX * min(compute, stream)
         seconds = base * contention_factor + OP_OVERHEAD_S
-        return OperatorTime(
+        op = OperatorTime(
             name=name,
             op_type=op_type,
             seconds=seconds,
             compute_seconds=compute * contention_factor,
             memory_seconds=stream,
         )
+        return self._profile_op(op, weight_bytes + activation_bytes)
 
     # --------------------------------------------------------------- sparse
 
@@ -281,13 +303,15 @@ class TimingModel:
         total_lookups = batch * lookups_per_sample
         seconds = total_lookups * lookup_ns * 1e-9 + OP_OVERHEAD_S
         compute = total_lookups * self._sls_core_ns(batch) * 1e-9
-        return OperatorTime(
+        op = OperatorTime(
             name=name,
             op_type=OP_SLS,
             seconds=seconds,
             compute_seconds=min(compute, seconds),
             memory_seconds=max(0.0, seconds - compute - OP_OVERHEAD_S),
         )
+        gathered_bytes = total_lookups * max(64, embedding_dim * dtype_bytes)
+        return self._profile_op(op, gathered_bytes)
 
     # ------------------------------------------------------------- movement
 
@@ -305,13 +329,14 @@ class TimingModel:
         if state.hyperthreading:
             compute *= HT_SLS_FACTOR
         seconds = max(memory, compute) + OP_OVERHEAD_S
-        return OperatorTime(
+        op = OperatorTime(
             name=name,
             op_type=op_type,
             seconds=seconds,
             compute_seconds=compute,
             memory_seconds=memory,
         )
+        return self._profile_op(op, bytes_moved)
 
     # ------------------------------------------------------------ dispatch
 

@@ -1,0 +1,148 @@
+"""Chrome ``trace_event`` export for :class:`~repro.obs.tracer.Tracer`.
+
+Exports the recorded spans as the Trace Event Format consumed by
+``chrome://tracing`` and Perfetto (legacy JSON): complete events
+(``"ph": "X"``) for spans, instant events (``"ph": "i"``) for point
+events, and ``thread_name`` metadata for track labels. Timestamps are the
+simulator's seconds converted to microseconds — the viewer's native unit.
+
+The export is deterministic: events are sorted by ``(ts, span id)`` and
+serialized with sorted keys, so two identical seeded runs produce
+byte-identical files (asserted by the tracing-determinism tests).
+"""
+
+from __future__ import annotations
+
+import json
+
+from .tracer import Tracer
+
+__all__ = ["to_chrome", "dumps_chrome", "validate_chrome"]
+
+#: pid for every event; the whole simulation is one "process".
+_PID = 1
+
+
+def to_chrome(tracer: Tracer) -> dict:
+    """Build the ``{"traceEvents": [...]}`` payload from a tracer.
+
+    Raises if any span is still open — every ``begin`` must have paired
+    with an ``end`` (or :meth:`Tracer.close_all` must have drained them).
+    """
+    still_open = tracer.open_spans()
+    if still_open:
+        names = ", ".join(f"{s.name}#{s.span_id}" for s in still_open[:5])
+        raise ValueError(
+            f"{len(still_open)} span(s) still open (e.g. {names}); "
+            "end them or call Tracer.close_all() before exporting"
+        )
+    events: list[dict] = []
+    for track, label in sorted(tracer.track_names.items()):
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": _PID,
+                "tid": track,
+                "args": {"name": label},
+            }
+        )
+    timed: list[tuple[float, int, dict]] = []
+    for span in tracer.spans:
+        assert span.end_s is not None  # guaranteed by the open-span check
+        args = {"span_id": span.span_id}
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        args.update(span.args)
+        timed.append(
+            (
+                span.begin_s,
+                span.span_id,
+                {
+                    "ph": "X",
+                    "name": span.name,
+                    "cat": span.name.split(".", 1)[0],
+                    "ts": span.begin_s * 1e6,
+                    "dur": (span.end_s - span.begin_s) * 1e6,
+                    "pid": _PID,
+                    "tid": span.track,
+                    "args": args,
+                },
+            )
+        )
+    for i, instant in enumerate(tracer.instants):
+        timed.append(
+            (
+                instant.t_s,
+                len(tracer.spans) + i,
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "name": instant.name,
+                    "cat": instant.name.split(".", 1)[0],
+                    "ts": instant.t_s * 1e6,
+                    "pid": _PID,
+                    "tid": instant.track,
+                    "args": dict(instant.args),
+                },
+            )
+        )
+    timed.sort(key=lambda item: (item[0], item[1]))
+    events.extend(event for _, _, event in timed)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def dumps_chrome(tracer: Tracer) -> str:
+    """Serialize a tracer to a canonical (byte-stable) JSON string."""
+    return json.dumps(to_chrome(tracer), sort_keys=True, separators=(",", ":"))
+
+
+def validate_chrome(payload: dict) -> list[str]:
+    """Check a Chrome trace payload's invariants; returns problems found.
+
+    An empty list means the trace is valid: every span event carries a
+    matched begin/end (``ts`` + non-negative ``dur``), timestamps are
+    non-negative and monotone in file order, span ids are unique, and
+    every ``parent_id`` refers to an exported span.
+    """
+    problems: list[str] = []
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["payload has no traceEvents list"]
+    span_ids: set[int] = set()
+    parent_refs: list[tuple[str, int]] = []
+    last_ts = None
+    for event in events:
+        ph = event.get("ph")
+        if ph == "M":
+            continue
+        name = event.get("name", "<unnamed>")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{name}: bad ts {ts!r}")
+            continue
+        if last_ts is not None and ts < last_ts:
+            problems.append(f"{name}: ts {ts} goes backwards (prev {last_ts})")
+        last_ts = ts
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{name}: complete event with bad dur {dur!r}")
+            span_id = event.get("args", {}).get("span_id")
+            if not isinstance(span_id, int):
+                problems.append(f"{name}: span event missing integer span_id")
+            elif span_id in span_ids:
+                problems.append(f"{name}: duplicate span_id {span_id}")
+            else:
+                span_ids.add(span_id)
+            parent_id = event.get("args", {}).get("parent_id")
+            if parent_id is not None:
+                parent_refs.append((name, parent_id))
+        elif ph == "i":
+            continue
+        else:
+            problems.append(f"{name}: unexpected event phase {ph!r}")
+    for name, parent_id in parent_refs:
+        if parent_id not in span_ids:
+            problems.append(f"{name}: parent_id {parent_id} refers to no span")
+    return problems

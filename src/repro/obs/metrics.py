@@ -1,0 +1,251 @@
+"""Metrics registry: named counters, gauges, and streaming histograms.
+
+Complements the tracer (:mod:`repro.obs.tracer`): spans answer "where did
+*this request's* time go", metrics answer "how often and how much" across
+a whole run. Series are identified by a dotted ``layer.component.event``
+name (same convention as spans, enforced by SC801) plus optional labels::
+
+    registry = MetricsRegistry()
+    registry.counter("serving.router.retries", policy="retry").inc()
+    registry.histogram("serving.router.latency_s").observe(0.004)
+
+    before = registry.snapshot()
+    ...
+    delta = registry.snapshot().diff(before)
+
+Histograms accumulate observations online and summarize on demand —
+p50/p95/p99/p999 through the one shared quantile implementation
+(:mod:`repro.obs.quantiles`), so a histogram tail and a
+:class:`~repro.analysis.distributions.LatencySummary` tail can never
+disagree on convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .quantiles import quantile
+from .tracer import check_name
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramStats",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "series_key",
+]
+
+#: Quantiles every histogram summary reports.
+SUMMARY_QUANTILES = (0.5, 0.95, 0.99, 0.999)
+
+
+def series_key(name: str, labels: dict[str, str]) -> str:
+    """Canonical series identity: ``name{k=v,...}`` with sorted labels."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+@dataclass
+class Counter:
+    """A monotonically non-decreasing count."""
+
+    name: str
+    labels: dict[str, str] = field(default_factory=dict)
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge for levels")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A point-in-time level (queue depth, healthy fraction, ...)."""
+
+    name: str
+    labels: dict[str, str] = field(default_factory=dict)
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self.value = float(value)
+
+
+@dataclass(frozen=True)
+class HistogramStats:
+    """Summary of a histogram's observations at snapshot time."""
+
+    count: int
+    total: float
+    min: float
+    max: float
+    p50: float
+    p95: float
+    p99: float
+    p999: float
+
+    @property
+    def mean(self) -> float:
+        """Average observation (0 for an empty histogram)."""
+        return self.total / self.count if self.count else 0.0
+
+    def to_jsonable(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "p999": self.p999,
+        }
+
+
+_EMPTY_STATS = HistogramStats(
+    count=0, total=0.0, min=0.0, max=0.0, p50=0.0, p95=0.0, p99=0.0, p999=0.0
+)
+
+
+@dataclass
+class Histogram:
+    """Streaming value distribution; quantiles via the shared helper."""
+
+    name: str
+    labels: dict[str, str] = field(default_factory=dict)
+    _values: list[float] = field(default_factory=list, repr=False)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self._values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        """Number of observations so far."""
+        return len(self._values)
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile of everything observed so far."""
+        return quantile(self._values, q)
+
+    def stats(self) -> HistogramStats:
+        """Summarize the observations (zeros when empty)."""
+        if not self._values:
+            return _EMPTY_STATS
+        p50, p95, p99, p999 = (
+            quantile(self._values, q) for q in SUMMARY_QUANTILES
+        )
+        return HistogramStats(
+            count=len(self._values),
+            total=float(sum(self._values)),
+            min=min(self._values),
+            max=max(self._values),
+            p50=p50,
+            p95=p95,
+            p99=p99,
+            p999=p999,
+        )
+
+
+class MetricsRegistry:
+    """Get-or-create home for every metric series in a run."""
+
+    def __init__(self) -> None:
+        self._series: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, cls, name: str, labels: dict[str, str]):
+        check_name(name)
+        key = series_key(name, labels)
+        series = self._series.get(key)
+        if series is None:
+            series = cls(name=name, labels=dict(labels))
+            self._series[key] = series
+        elif not isinstance(series, cls):
+            raise TypeError(
+                f"metric {key!r} is a {type(series).__name__}, "
+                f"not a {cls.__name__}"
+            )
+        return series
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        """The counter for ``(name, labels)``, created on first use."""
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        """The gauge for ``(name, labels)``, created on first use."""
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        """The histogram for ``(name, labels)``, created on first use."""
+        return self._get(Histogram, name, labels)
+
+    def snapshot(self) -> "MetricsSnapshot":
+        """Immutable view of every series' current state."""
+        counters: dict[str, float] = {}
+        gauges: dict[str, float] = {}
+        histograms: dict[str, HistogramStats] = {}
+        for key, series in self._series.items():
+            if isinstance(series, Counter):
+                counters[key] = series.value
+            elif isinstance(series, Gauge):
+                gauges[key] = series.value
+            else:
+                histograms[key] = series.stats()
+        return MetricsSnapshot(
+            counters=counters, gauges=gauges, histograms=histograms
+        )
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Point-in-time copy of a registry, diffable and JSON-serializable."""
+
+    counters: dict[str, float]
+    gauges: dict[str, float]
+    histograms: dict[str, HistogramStats]
+
+    def diff(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
+        """This snapshot minus an ``earlier`` one.
+
+        Counters and histogram counts/totals subtract; gauges and
+        histogram quantiles are levels, so the later value is kept
+        (quantiles of only-the-delta are not recoverable from summaries).
+        """
+        counters = {
+            key: value - earlier.counters.get(key, 0.0)
+            for key, value in self.counters.items()
+        }
+        histograms: dict[str, HistogramStats] = {}
+        for key, stats in self.histograms.items():
+            prior = earlier.histograms.get(key, _EMPTY_STATS)
+            histograms[key] = HistogramStats(
+                count=stats.count - prior.count,
+                total=stats.total - prior.total,
+                min=stats.min,
+                max=stats.max,
+                p50=stats.p50,
+                p95=stats.p95,
+                p99=stats.p99,
+                p999=stats.p999,
+            )
+        return MetricsSnapshot(
+            counters=counters, gauges=dict(self.gauges), histograms=histograms
+        )
+
+    def to_jsonable(self) -> dict:
+        """Deterministic (sorted-key) plain-dict form for JSON dumps."""
+        return {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            "histograms": {
+                k: self.histograms[k].to_jsonable()
+                for k in sorted(self.histograms)
+            },
+        }

@@ -1,0 +1,118 @@
+"""Flight-recorder rendering: per-stage waterfall and top-k span table.
+
+Turns a recorded trace into the terminal view ``python -m repro trace
+<experiment>`` prints: which pipeline stage the latency lives in
+(queue? service? retry backoff?), and which individual spans were the
+worst. For interactive digging, export the same tracer with
+:func:`repro.obs.chrome.dumps_chrome` and load it in Perfetto.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .quantiles import quantile
+from .tracer import Tracer
+
+__all__ = ["StageStats", "stage_stats", "waterfall", "top_spans", "flight_report"]
+
+_BAR_WIDTH = 32
+
+
+@dataclass(frozen=True)
+class StageStats:
+    """Aggregate timing of one span name (a pipeline stage)."""
+
+    name: str
+    count: int
+    total_s: float
+    mean_s: float
+    p95_s: float
+    max_s: float
+    first_begin_s: float
+
+
+def stage_stats(tracer: Tracer) -> list[StageStats]:
+    """Per-stage aggregates, ordered by first appearance (pipeline order)."""
+    durations: dict[str, list[float]] = {}
+    first_begin: dict[str, float] = {}
+    for span in tracer.spans:
+        if span.end_s is None:
+            continue
+        durations.setdefault(span.name, []).append(span.duration_s)
+        first = first_begin.get(span.name)
+        if first is None or span.begin_s < first:
+            first_begin[span.name] = span.begin_s
+    stages = []
+    for name, values in durations.items():
+        stages.append(
+            StageStats(
+                name=name,
+                count=len(values),
+                total_s=sum(values),
+                mean_s=sum(values) / len(values),
+                p95_s=quantile(values, 0.95),
+                max_s=max(values),
+                first_begin_s=first_begin[name],
+            )
+        )
+    stages.sort(key=lambda s: (s.first_begin_s, s.name))
+    return stages
+
+
+def waterfall(tracer: Tracer) -> str:
+    """Text waterfall: one bar per stage, scaled to the busiest stage."""
+    stages = stage_stats(tracer)
+    if not stages:
+        return "(no closed spans recorded)"
+    widest = max(len(s.name) for s in stages)
+    peak_s = max(s.total_s for s in stages) or 1.0
+    lines = [
+        f"{'stage':<{widest}}  {'count':>7} {'total ms':>10} {'mean us':>10} "
+        f"{'p95 us':>10} {'max us':>10}"
+    ]
+    for s in stages:
+        bar = "#" * max(1, round(_BAR_WIDTH * s.total_s / peak_s))
+        lines.append(
+            f"{s.name:<{widest}}  {s.count:>7} {s.total_s * 1e3:>10.3f} "
+            f"{s.mean_s * 1e6:>10.1f} {s.p95_s * 1e6:>10.1f} "
+            f"{s.max_s * 1e6:>10.1f}  {bar}"
+        )
+    return "\n".join(lines)
+
+
+def top_spans(tracer: Tracer, k: int = 10) -> str:
+    """The ``k`` longest closed spans, worst first."""
+    closed = [s for s in tracer.spans if s.end_s is not None]
+    if not closed:
+        return "(no closed spans recorded)"
+    closed.sort(key=lambda s: (-s.duration_s, s.span_id))
+    lines = [f"{'dur us':>12} {'begin ms':>10} {'track':>6}  name / args"]
+    for span in closed[:k]:
+        args = ", ".join(f"{key}={value}" for key, value in sorted(span.args.items()))
+        suffix = f"  [{args}]" if args else ""
+        lines.append(
+            f"{span.duration_s * 1e6:>12.1f} {span.begin_s * 1e3:>10.3f} "
+            f"{span.track:>6}  {span.name}{suffix}"
+        )
+    return "\n".join(lines)
+
+
+def flight_report(tracer: Tracer, top_k: int = 10) -> str:
+    """Waterfall plus top-k table — the ``repro trace`` terminal report."""
+    closed = sum(1 for s in tracer.spans if s.end_s is not None)
+    header = (
+        f"flight recorder: {closed} span(s), {len(tracer.instants)} instant "
+        f"event(s) on {len({s.track for s in tracer.spans}) or 1} track(s)"
+    )
+    return "\n".join(
+        [
+            header,
+            "",
+            "-- per-stage waterfall " + "-" * 40,
+            waterfall(tracer),
+            "",
+            f"-- top {top_k} spans " + "-" * 46,
+            top_spans(tracer, top_k),
+        ]
+    )

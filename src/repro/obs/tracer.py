@@ -1,0 +1,288 @@
+"""Structured span tracing on the simulators' event clocks.
+
+The serving stack is a set of discrete-event simulations; every
+interesting instant already has a simulated timestamp. The tracer records
+that structure — ``request → queue → batch → shard fan-out →
+attempt/retry/hedge → op`` — as :class:`Span` records with parent/child
+links, using **the DES clock, never wall-clock**: traces are functions of
+the seed alone, so two identical runs export byte-identical JSON and the
+determinism rule (SC301) stays clean.
+
+Two API styles:
+
+* **explicit-time** — event-driven code passes simulated times itself::
+
+      span_id = tracer.begin("serving.router.attempt", t_s=now_s, track=machine)
+      ...
+      tracer.end(span_id, t_s=done_s, outcome="ok")
+
+  or, when both edges are known at once (analytic latency models)::
+
+      tracer.complete("serving.shard.sls", begin_s=t0_s, end_s=t1_s, track=shard)
+
+* **context-manager** — region code with a clock callable::
+
+      tracer = Tracer(clock=sim.now)
+      with tracer.span("serving.batch.collect"):
+          ...
+
+Span and metric names follow a dotted ``layer.component.event``
+convention (at least three lowercase segments), enforced here at record
+time and statically by staticcheck rule SC801.
+
+Tracing off is the default everywhere: instrumented components take
+``tracer=None`` and fall back to :data:`NULL_TRACER`, whose methods are
+no-ops. The tracer never touches any RNG stream or event ordering, so a
+run with tracing disabled is bit-identical to one that predates the
+instrumentation.
+"""
+
+from __future__ import annotations
+
+import re
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+__all__ = [
+    "NULL_TRACER",
+    "Instant",
+    "NullTracer",
+    "SPAN_NAME_RE",
+    "Span",
+    "Tracer",
+    "as_tracer",
+]
+
+#: ``layer.component.event``: at least three dot-separated lowercase
+#: segments, each starting with a letter.
+SPAN_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*){2,}$")
+
+
+def check_name(name: str) -> str:
+    """Validate the dotted ``layer.component.event`` naming convention."""
+    if not SPAN_NAME_RE.match(name):
+        raise ValueError(
+            f"span/metric name {name!r} must be dotted layer.component.event "
+            "(>= 3 lowercase segments, e.g. 'serving.router.attempt')"
+        )
+    return name
+
+
+@dataclass
+class Span:
+    """One traced interval on the simulated clock.
+
+    ``end_s`` is ``None`` while the span is open; exporting a trace with
+    open spans is an error (every begin must pair with an end).
+    """
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    track: int
+    begin_s: float
+    end_s: float | None = None
+    args: dict = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        """Span length; raises while the span is still open."""
+        if self.end_s is None:
+            raise ValueError(f"span {self.name!r} (id {self.span_id}) is still open")
+        return self.end_s - self.begin_s
+
+
+@dataclass(frozen=True)
+class Instant:
+    """A point event (a retry fired, a replica crashed)."""
+
+    name: str
+    t_s: float
+    track: int
+    args: dict
+
+
+class Tracer:
+    """Records spans and instants against an explicit simulated clock.
+
+    Args:
+        clock: optional ``() -> float`` returning the current simulated
+            time, used only by the :meth:`span` context manager. The
+            explicit-time API (:meth:`begin`/:meth:`end`/:meth:`complete`/
+            :meth:`instant`) never consults it.
+    """
+
+    enabled: bool = True
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        self.clock = clock
+        self.spans: list[Span] = []
+        self.instants: list[Instant] = []
+        self.track_names: dict[int, str] = {}
+        self._open: set[int] = set()
+        self._stack: list[int] = []
+
+    # ----------------------------------------------------- explicit-time API
+
+    def begin(
+        self,
+        name: str,
+        t_s: float,
+        parent_id: int | None = None,
+        track: int = 0,
+        **args,
+    ) -> int:
+        """Open a span at simulated time ``t_s``; returns its id."""
+        check_name(name)
+        if parent_id is not None and not 0 <= parent_id < len(self.spans):
+            raise ValueError(f"unknown parent span id {parent_id}")
+        span_id = len(self.spans)
+        self.spans.append(
+            Span(
+                span_id=span_id,
+                parent_id=parent_id,
+                name=name,
+                track=track,
+                begin_s=t_s,
+                args=dict(args),
+            )
+        )
+        self._open.add(span_id)
+        return span_id
+
+    def end(self, span_id: int, t_s: float, **args) -> None:
+        """Close an open span at simulated time ``t_s``."""
+        if span_id not in self._open:
+            raise ValueError(f"span id {span_id} is not open")
+        span = self.spans[span_id]
+        if t_s < span.begin_s:
+            raise ValueError(
+                f"span {span.name!r} would end at {t_s} before it began "
+                f"at {span.begin_s}"
+            )
+        span.end_s = t_s
+        span.args.update(args)
+        self._open.discard(span_id)
+
+    def complete(
+        self,
+        name: str,
+        begin_s: float,
+        end_s: float,
+        parent_id: int | None = None,
+        track: int = 0,
+        **args,
+    ) -> int:
+        """Record a span whose both edges are already known."""
+        span_id = self.begin(name, begin_s, parent_id=parent_id, track=track, **args)
+        self.end(span_id, end_s)
+        return span_id
+
+    def instant(self, name: str, t_s: float, track: int = 0, **args) -> None:
+        """Record a point event."""
+        check_name(name)
+        self.instants.append(Instant(name=name, t_s=t_s, track=track, args=dict(args)))
+
+    # -------------------------------------------------- context-manager API
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        parent_id: int | None = None,
+        track: int = 0,
+        **args,
+    ) -> Iterator[Span]:
+        """Trace a code region using the tracer's ``clock``.
+
+        Nested ``span`` blocks parent automatically; an explicit
+        ``parent_id`` overrides the nesting.
+        """
+        if self.clock is None:
+            raise ValueError(
+                "Tracer.span needs a clock; construct Tracer(clock=...) or "
+                "use the explicit-time begin/end API"
+            )
+        if parent_id is None and self._stack:
+            parent_id = self._stack[-1]
+        span_id = self.begin(
+            name, self.clock(), parent_id=parent_id, track=track, **args
+        )
+        self._stack.append(span_id)
+        try:
+            yield self.spans[span_id]
+        finally:
+            self._stack.pop()
+            self.end(span_id, self.clock())
+
+    # -------------------------------------------------------------- queries
+
+    def set_track_name(self, track: int, label: str) -> None:
+        """Human-readable label for a track (a thread lane in the viewer)."""
+        self.track_names[track] = label
+
+    def open_spans(self) -> list[Span]:
+        """Spans begun but not yet ended (must be empty before export)."""
+        return [self.spans[i] for i in sorted(self._open)]
+
+    def close_all(self, t_s: float, **args) -> int:
+        """Force-close every open span at ``t_s`` (end-of-run drain).
+
+        Returns the number of spans closed. Use at a simulation horizon so
+        unresolved work (e.g. a request still waiting on a dead replica)
+        exports as a valid span instead of failing validation.
+        """
+        closed = 0
+        for span_id in sorted(self._open):
+            self.end(span_id, max(t_s, self.spans[span_id].begin_s), **args)
+            closed += 1
+        return closed
+
+
+class NullTracer:
+    """The nil tracer: every method is a no-op, ``enabled`` is False.
+
+    Instrumented components hold one of these by default, so tracing costs
+    a single attribute check on hot paths and nothing else.
+    """
+
+    enabled: bool = False
+    clock = None
+
+    def begin(self, name: str, t_s: float, parent_id=None, track: int = 0, **args) -> int:
+        return 0
+
+    def end(self, span_id: int, t_s: float, **args) -> None:
+        return None
+
+    def complete(
+        self, name: str, begin_s: float, end_s: float, parent_id=None,
+        track: int = 0, **args,
+    ) -> int:
+        return 0
+
+    def instant(self, name: str, t_s: float, track: int = 0, **args) -> None:
+        return None
+
+    @contextmanager
+    def span(self, name: str, parent_id=None, track: int = 0, **args) -> Iterator[None]:
+        yield None
+
+    def set_track_name(self, track: int, label: str) -> None:
+        return None
+
+    def open_spans(self) -> list[Span]:
+        return []
+
+    def close_all(self, t_s: float, **args) -> int:
+        return 0
+
+
+#: Shared nil tracer; safe because every method is stateless.
+NULL_TRACER = NullTracer()
+
+
+def as_tracer(tracer: "Tracer | NullTracer | None") -> "Tracer | NullTracer":
+    """Normalize an optional tracer argument (``None`` → :data:`NULL_TRACER`)."""
+    return NULL_TRACER if tracer is None else tracer

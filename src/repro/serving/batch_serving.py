@@ -19,6 +19,7 @@ from ..analysis.distributions import LatencySummary, summarize
 from ..config.model_config import ModelConfig
 from ..hw.server import ServerSpec
 from ..hw.timing import TimingModel
+from ..obs.tracer import NullTracer, Tracer, as_tracer
 from .batcher import batch_stream
 from .loadgen import PoissonLoadGenerator
 from .metrics import SLA
@@ -59,6 +60,11 @@ class BatchedServer:
         max_batch: batcher size threshold (items).
         max_wait_s: batcher timeout.
         items_per_query: user-post pairs carried by each query.
+        tracer: optional :class:`~repro.obs.tracer.Tracer`. Each simulated
+            batch becomes a ``serving.batch.request`` span (first arrival
+            to completion) with ``collect``/``wait``/``service`` children
+            on the batcher and model tracks. The default nil tracer
+            records nothing and never perturbs the simulation.
     """
 
     def __init__(
@@ -68,6 +74,7 @@ class BatchedServer:
         max_batch: int = 32,
         max_wait_s: float = 0.001,
         items_per_query: int = 1,
+        tracer: Tracer | NullTracer | None = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be positive")
@@ -76,6 +83,7 @@ class BatchedServer:
         self.max_batch = max_batch
         self.max_wait_s = max_wait_s
         self.items_per_query = items_per_query
+        self.tracer = as_tracer(tracer)
         self.timing = TimingModel(server)
         self._latency_cache: dict[int, float] = {}
 
@@ -99,6 +107,11 @@ class BatchedServer:
             raise ValueError("no queries generated; raise rate or duration")
         batches = batch_stream(queries, self.max_batch, self.max_wait_s)
 
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.set_track_name(0, "batcher")
+            tracer.set_track_name(1, "model")
+
         free_at = 0.0
         latencies: list[float] = []
         items = 0
@@ -112,6 +125,38 @@ class BatchedServer:
                 latencies.append(done - query.arrival_s)
             items += batch.num_items
             batch_sizes.append(batch.num_items)
+            if tracer.enabled:
+                first_arrival_s = batch.queries[0].arrival_s
+                batch_id = tracer.begin(
+                    "serving.batch.request",
+                    first_arrival_s,
+                    track=0,
+                    num_items=batch.num_items,
+                )
+                tracer.complete(
+                    "serving.batch.collect",
+                    first_arrival_s,
+                    batch.formed_at_s,
+                    parent_id=batch_id,
+                    track=0,
+                )
+                if start > batch.formed_at_s:
+                    tracer.complete(
+                        "serving.batch.wait",
+                        batch.formed_at_s,
+                        start,
+                        parent_id=batch_id,
+                        track=0,
+                    )
+                tracer.complete(
+                    "serving.batch.service",
+                    start,
+                    done,
+                    parent_id=batch_id,
+                    track=1,
+                    num_items=batch.num_items,
+                )
+                tracer.end(batch_id, done)
 
         return BatchedServingResult(
             server_name=self.server.name,

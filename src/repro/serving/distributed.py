@@ -22,6 +22,7 @@ from ..core.graph import config_ops
 from ..core.operators.base import OP_SLS
 from ..hw.server import ServerSpec
 from ..hw.timing import TimingModel
+from ..obs.tracer import NullTracer, Tracer, as_tracer
 
 
 @dataclass(frozen=True)
@@ -142,8 +143,16 @@ def distributed_latency(
     batch_size: int,
     plan: ShardPlan,
     network: NetworkConfig = NetworkConfig(),
+    tracer: Tracer | NullTracer | None = None,
 ) -> DistributedLatency:
-    """Predict sharded-inference latency on homogeneous shard servers."""
+    """Predict sharded-inference latency on homogeneous shard servers.
+
+    With a ``tracer``, the predicted inference is synthesized as one
+    ``serving.shard.fanout`` span starting at t=0 with per-shard
+    ``serving.shard.sls`` children (one track per shard) followed by
+    ``serving.shard.network`` and ``serving.shard.dense`` on the
+    aggregator track — the model's timeline, viewable in Perfetto.
+    """
     timing = TimingModel(server)
     specs = config_ops(config)
     sls_specs = [s for s in specs if s.op_type == OP_SLS]
@@ -192,7 +201,7 @@ def distributed_latency(
         for spec in specs
         if spec.op_type != OP_SLS
     )
-    return DistributedLatency(
+    result = DistributedLatency(
         model_name=config.name,
         num_shards=plan.num_shards,
         batch_size=batch_size,
@@ -200,6 +209,47 @@ def distributed_latency(
         network_seconds=network_seconds,
         dense_seconds=dense_seconds,
     )
+
+    recorder = as_tracer(tracer)
+    if recorder.enabled:
+        aggregator_track = plan.num_shards
+        recorder.set_track_name(aggregator_track, "aggregator")
+        fanout_id = recorder.begin(
+            "serving.shard.fanout",
+            0.0,
+            track=aggregator_track,
+            num_shards=plan.num_shards,
+            batch_size=batch_size,
+        )
+        for shard, shard_s in enumerate(shard_seconds):
+            recorder.set_track_name(shard, f"shard {shard}")
+            recorder.complete(
+                "serving.shard.sls",
+                0.0,
+                shard_s,
+                parent_id=fanout_id,
+                track=shard,
+                tables=len(plan.tables_of(shard)),
+            )
+        gather_seconds = result.slowest_shard_seconds
+        dense_begin_seconds = gather_seconds + network_seconds
+        if network_seconds > 0:
+            recorder.complete(
+                "serving.shard.network",
+                gather_seconds,
+                dense_begin_seconds,
+                parent_id=fanout_id,
+                track=aggregator_track,
+            )
+        recorder.complete(
+            "serving.shard.dense",
+            dense_begin_seconds,
+            result.total_seconds,
+            parent_id=fanout_id,
+            track=aggregator_track,
+        )
+        recorder.end(fanout_id, result.total_seconds)
+    return result
 
 
 def sharding_sweep(

@@ -44,6 +44,8 @@ from ..config.model_config import ModelConfig
 from ..core.operators.base import OP_SLS
 from ..hw.server import ServerSpec
 from ..hw.timing import TimingModel
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import NullTracer, Tracer, as_tracer
 from .metrics import SLA, ResilienceStats, goodput_qps
 from .ranking_quality import pipeline_quality
 from .router import SERVICE_NOISE_SIGMA, pick_machine
@@ -544,6 +546,18 @@ class ResilientRouter:
         seed: RNG seed for arrivals and service noise. The fault stream is
             seeded separately inside :func:`fault_storm`, so policy
             comparisons can share one storm.
+        tracer: optional :class:`~repro.obs.tracer.Tracer`. Records
+            ``serving.router.request`` spans on a client track with
+            ``serving.router.attempt`` children on per-machine tracks, plus
+            instants for retries, hedges, timeouts, fail-fasts, crashes and
+            restarts — all on the DES clock. The default nil tracer records
+            nothing and tracing never perturbs the run.
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`
+            filled at the end of every :meth:`run` (counters, latency
+            histogram, degraded-time gauge).
+        metrics_labels: labels attached to every series this router
+            records (e.g. ``{"policy": "retry2"}`` to compare policies in
+            one registry).
     """
 
     def __init__(
@@ -556,6 +570,9 @@ class ResilientRouter:
         degradation: DegradationPolicy | None = None,
         routing: str = "jsq2",
         seed: int = 0,
+        tracer: Tracer | NullTracer | None = None,
+        metrics: MetricsRegistry | None = None,
+        metrics_labels: dict[str, str] | None = None,
     ) -> None:
         if num_machines < 1:
             raise ValueError("need at least one machine")
@@ -567,6 +584,9 @@ class ResilientRouter:
         self.degradation = degradation
         self.routing = routing
         self.seed = seed
+        self.tracer = as_tracer(tracer)
+        self.metrics = metrics
+        self.metrics_labels = dict(metrics_labels or {})
         timing = TimingModel(server)
         base = timing.model_latency(config, batch_size)
         self._base_service_s = base.total_seconds
@@ -586,6 +606,44 @@ class ResilientRouter:
     def max_stable_qps(self) -> float:
         """Arrival rate at 100% fleet utilization (no faults)."""
         return self.num_machines / self._base_service_s
+
+    def _record_metrics(
+        self,
+        n_offered: int,
+        completed: int,
+        failed: int,
+        retries: int,
+        hedges: int,
+        wasted_attempts: int,
+        fail_fasts: int,
+        ejections: int,
+        degraded_completions: int,
+        time_in_degraded_s: float,
+        latencies: list[float],
+    ) -> None:
+        """Publish one run's accounting into the attached registry."""
+        registry = self.metrics
+        assert registry is not None
+        labels = self.metrics_labels
+        counts = {
+            "serving.router.offered": n_offered,
+            "serving.router.completed": completed,
+            "serving.router.failed": failed,
+            "serving.router.retries": retries,
+            "serving.router.hedges": hedges,
+            "serving.router.wasted_attempts": wasted_attempts,
+            "serving.router.fail_fasts": fail_fasts,
+            "serving.router.ejections": ejections,
+            "serving.router.degraded_completions": degraded_completions,
+        }
+        for name, value in counts.items():
+            registry.counter(name, **labels).inc(value)
+        registry.gauge("serving.router.time_in_degraded_s", **labels).set(
+            time_in_degraded_s
+        )
+        histogram = registry.histogram("serving.router.latency_s", **labels)
+        for latency_s in latencies:
+            histogram.observe(latency_s)
 
     # ------------------------------------------------------------------ run
 
@@ -622,6 +680,19 @@ class ResilientRouter:
 
         events: list[tuple[float, int, int, int, int]] = []
         seq = 0
+
+        # Observability: request spans live on a dedicated client track,
+        # attempt spans on per-machine tracks. Everything below is guarded
+        # by ``tracer.enabled`` and touches neither the RNG nor the event
+        # queue, so the nil tracer reproduces the historical run exactly.
+        tracer = self.tracer
+        client_track = self.num_machines
+        request_span: dict[int, int] = {}
+        attempt_span: dict[int, int] = {}
+        if tracer.enabled:
+            tracer.set_track_name(client_track, "client")
+            for m in range(self.num_machines):
+                tracer.set_track_name(m, f"machine {m}")
 
         def push(t_s: float, kind: int, a: int = 0, b: int = 0) -> None:
             nonlocal seq
@@ -697,6 +768,12 @@ class ResilientRouter:
                     if attempt.state == _QUEUED:
                         attempt.state = _CANCELLED
                         request.live_attempts -= 1
+                        if tracer.enabled and attempt_id in attempt_span:
+                            tracer.end(
+                                attempt_span.pop(attempt_id),
+                                now_s,
+                                outcome="cancelled",
+                            )
                     continue
                 attempt.state = _RUNNING
                 running[machine] = attempt_id
@@ -735,6 +812,10 @@ class ResilientRouter:
                 # Connection refused: passive health detection.
                 fail_fasts += 1
                 eject(machine)
+                if tracer.enabled:
+                    tracer.instant(
+                        "serving.router.failfast", now_s, track=machine
+                    )
                 attempt_failed(request_id, now_s)
                 return
             attempt = _Attempt(request_id, machine)
@@ -742,6 +823,13 @@ class ResilientRouter:
             attempts.append(attempt)
             request.live_attempts += 1
             queues[machine].append(attempt_id)
+            if tracer.enabled:
+                attempt_span[attempt_id] = tracer.begin(
+                    "serving.router.attempt",
+                    now_s,
+                    parent_id=request_span.get(request_id),
+                    track=machine,
+                )
             if policy.timeout_s is not None:
                 push(now_s + policy.timeout_s, _EV_TIMEOUT, attempt_id)
             start_next(machine, now_s)
@@ -756,10 +844,21 @@ class ResilientRouter:
                 delay_s = policy.backoff_s(request.retries_used)
                 request.retries_used += 1
                 retries += 1
+                if tracer.enabled:
+                    tracer.instant(
+                        "serving.router.retry",
+                        now_s,
+                        track=client_track,
+                        attempt=request.retries_used,
+                    )
                 push(now_s + delay_s, _EV_ARRIVAL, request_id, 1)
             else:
                 request.failed = True
                 failed += 1
+                if tracer.enabled and request_id in request_span:
+                    tracer.end(
+                        request_span.pop(request_id), now_s, outcome="failed"
+                    )
 
         # ------------------------------------------------------- event loop
 
@@ -773,6 +872,13 @@ class ResilientRouter:
                     continue
                 if not is_retry:
                     request.degraded = degraded_now(now_s)
+                    if tracer.enabled:
+                        request_span[request_id] = tracer.begin(
+                            "serving.router.request",
+                            now_s,
+                            track=client_track,
+                            degraded=request.degraded,
+                        )
                 if (
                     not is_retry
                     and policy.hedge_delay_s is not None
@@ -797,12 +903,31 @@ class ResilientRouter:
                 request.live_attempts -= 1
                 if request.done or request.failed:
                     wasted_attempts += 1
+                    if tracer.enabled and attempt_id in attempt_span:
+                        tracer.end(
+                            attempt_span.pop(attempt_id),
+                            now_s,
+                            outcome="wasted",
+                        )
                 else:
                     request.done = True
                     request.latency_s = now_s - request.arrival_s
                     latencies.append(request.latency_s)
                     if request.degraded:
                         degraded_completions += 1
+                    if tracer.enabled:
+                        if attempt_id in attempt_span:
+                            tracer.end(
+                                attempt_span.pop(attempt_id),
+                                now_s,
+                                outcome="ok",
+                            )
+                        if attempt.request_id in request_span:
+                            tracer.end(
+                                request_span.pop(attempt.request_id),
+                                now_s,
+                                outcome="ok",
+                            )
                 start_next(machine, now_s)
 
             elif kind == _EV_TIMEOUT:
@@ -816,6 +941,16 @@ class ResilientRouter:
                 # the machine and completes as waste (see _EV_COMPLETE).
                 attempt.state = _CANCELLED
                 request.live_attempts -= 1
+                if tracer.enabled:
+                    tracer.instant(
+                        "serving.router.timeout", now_s, track=attempt.machine
+                    )
+                    if attempt_id in attempt_span:
+                        tracer.end(
+                            attempt_span.pop(attempt_id),
+                            now_s,
+                            outcome="timeout",
+                        )
                 attempt_failed(attempt.request_id, now_s)
 
             elif kind == _EV_HEDGE:
@@ -825,12 +960,20 @@ class ResilientRouter:
                     continue
                 hedges += 1
                 request.hedged = True
+                if tracer.enabled:
+                    tracer.instant(
+                        "serving.router.hedge", now_s, track=client_track
+                    )
                 route_attempt(request_id, now_s)
 
             elif kind == _EV_FAULT:
                 machine, goes_down = a, bool(b)
                 if goes_down:
                     up[machine] = False
+                    if tracer.enabled:
+                        tracer.instant(
+                            "serving.router.crash", now_s, track=machine
+                        )
                     if policy.health_check_interval_s is None:
                         eject(machine)
                     attempt_id = running[machine]
@@ -840,6 +983,12 @@ class ResilientRouter:
                         if attempt.state == _RUNNING:
                             attempt.state = _CANCELLED
                             requests[attempt.request_id].live_attempts -= 1
+                            if tracer.enabled and attempt_id in attempt_span:
+                                tracer.end(
+                                    attempt_span.pop(attempt_id),
+                                    now_s,
+                                    outcome="killed",
+                                )
                             attempt_failed(attempt.request_id, now_s)
                     # Queued work fails fast (connection reset).
                     dead, queues[machine] = queues[machine], []
@@ -848,9 +997,19 @@ class ResilientRouter:
                         if attempt.state == _QUEUED:
                             attempt.state = _CANCELLED
                             requests[attempt.request_id].live_attempts -= 1
+                            if tracer.enabled and attempt_id in attempt_span:
+                                tracer.end(
+                                    attempt_span.pop(attempt_id),
+                                    now_s,
+                                    outcome="reset",
+                                )
                             attempt_failed(attempt.request_id, now_s)
                 else:
                     up[machine] = True
+                    if tracer.enabled:
+                        tracer.instant(
+                            "serving.router.restart", now_s, track=machine
+                        )
                     if policy.health_check_interval_s is None:
                         admitted[machine] = True
 
@@ -863,6 +1022,22 @@ class ResilientRouter:
         # Unresolved requests at drain end (e.g. waiting forever on a down
         # replica with no timeout) are neither completed nor failed; they
         # count against availability via ``offered``.
+        if tracer.enabled and tracer.open_spans():
+            tracer.close_all(max(now_s, duration_s), outcome="unresolved")
+        if self.metrics is not None:
+            self._record_metrics(
+                n_offered=n_offered,
+                completed=len(latencies),
+                failed=failed,
+                retries=retries,
+                hedges=hedges,
+                wasted_attempts=wasted_attempts,
+                fail_fasts=fail_fasts,
+                ejections=ejections,
+                degraded_completions=degraded_completions,
+                time_in_degraded_s=time_in_degraded_s,
+                latencies=latencies,
+            )
         return FaultyServingResult(
             policy=policy,
             num_machines=self.num_machines,

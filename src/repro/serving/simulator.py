@@ -26,12 +26,16 @@ import numpy as np
 
 from ..analysis.distributions import LatencySummary, summarize
 from ..config.model_config import ModelConfig
-from ..core.operators.base import OP_SLS
+from ..core.graph import config_ops
+from ..core.operators.base import OP_FC, OP_SLS
 from ..hw.colocation import ColocationState
 from ..hw.server import ServerSpec
 from ..hw.timing import ModelLatency, TimingModel
+from ..obs.tracer import as_tracer
 
 if TYPE_CHECKING:
+    from ..obs.profile import OpProfiler
+    from ..obs.tracer import NullTracer, Tracer
     from .faults import FaultSchedule
 
 #: Baseline multiplicative latency noise (OS jitter, clock, queue probes).
@@ -152,6 +156,16 @@ class ServingSimulator:
             bandwidth dips multiply service times. A zero schedule (or
             ``None``) reproduces the fault-free run record-for-record —
             fault handling never touches the main RNG stream.
+        tracer: optional :class:`~repro.obs.tracer.Tracer`. When set, each
+            completed inference is recorded as a ``serving.sim.request``
+            span with ``queue``/``service`` children and per-operator leaf
+            spans, all on the DES clock (one track per instance). The
+            default nil tracer records nothing; tracing never touches the
+            RNG stream, so tracing off is bit-identical to the historical
+            simulator.
+        profiler: optional :class:`~repro.obs.profile.OpProfiler`; every
+            completed inference's realized service time is attributed to
+            its per-operator shares (the Figure-4 view of the run).
     """
 
     def __init__(
@@ -164,6 +178,8 @@ class ServingSimulator:
         hyperthreading: bool = False,
         seed: int = 0,
         faults: "FaultSchedule | None" = None,
+        tracer: "Tracer | NullTracer | None" = None,
+        profiler: "OpProfiler | None" = None,
     ) -> None:
         if num_instances < 1:
             raise ValueError("need at least one instance")
@@ -176,6 +192,8 @@ class ServingSimulator:
         self.per_instance_qps = per_instance_qps
         self.hyperthreading = hyperthreading
         self.faults = faults
+        self.tracer = as_tracer(tracer)
+        self.profiler = profiler
         self.timing = TimingModel(server)
         self._rng = np.random.default_rng(seed)
         self._resident = self.timing.resident_bytes(config)
@@ -185,6 +203,89 @@ class ServingSimulator:
         self._memory_fraction = (
             self._base_latency(1).fraction_by_op_type().get(OP_SLS, 0.0)
         )
+        #: Per-request bytes touched per operator class, mirroring the
+        #: TimingModel's byte accounting (filled lazily for the profiler).
+        self._bytes_by_op_cache: dict[str, float] | None = None
+
+    # ------------------------------------------------------- observability
+
+    def _request_bytes_by_op(self) -> dict[str, float]:
+        """Bytes one inference touches, grouped by operator class."""
+        if self._bytes_by_op_cache is None:
+            out: dict[str, float] = {}
+            for spec in config_ops(self.config):
+                if spec.op_type == OP_SLS:
+                    row_bytes = max(64, spec.embedding_dim * spec.dtype_bytes)
+                    moved = self.batch_size * spec.lookups_per_sample * row_bytes
+                elif spec.op_type == OP_FC:
+                    moved = (
+                        spec.weight_bytes
+                        + self.batch_size * spec.activation_bytes_per_sample
+                    )
+                else:
+                    moved = self.batch_size * spec.activation_bytes_per_sample
+                out[spec.op_type] = out.get(spec.op_type, 0.0) + moved
+            self._bytes_by_op_cache = out
+        return self._bytes_by_op_cache
+
+    def _observe_completion(self, record: InferenceRecord) -> None:
+        """Feed one completed inference to the tracer and profiler.
+
+        Purely observational: called after the record is final, touching
+        neither the RNG stream nor the event queue, so runs with the nil
+        tracer and no profiler are bit-identical to uninstrumented ones.
+        """
+        base = self._base_latency(record.active_jobs)
+        if self.profiler is not None:
+            self.profiler.record_request(
+                base,
+                self.server.frequency_ghz,
+                actual_seconds=record.service_s,
+                bytes_by_op=self._request_bytes_by_op(),
+            )
+        tracer = self.tracer
+        if not tracer.enabled:
+            return
+        track = record.instance_id
+        request_id = tracer.begin(
+            "serving.sim.request",
+            record.arrival_s,
+            track=track,
+            active_jobs=record.active_jobs,
+        )
+        if record.queue_s > 0:
+            tracer.complete(
+                "serving.sim.queue",
+                record.arrival_s,
+                record.start_s,
+                parent_id=request_id,
+                track=track,
+            )
+        service_id = tracer.complete(
+            "serving.sim.service",
+            record.start_s,
+            record.end_s,
+            parent_id=request_id,
+            track=track,
+        )
+        # Leaf op spans: the analytic per-op shares at this dispatch's
+        # contention level, scaled so they tile the realized service time.
+        scale = (
+            record.service_s / base.total_seconds if base.total_seconds > 0 else 0.0
+        )
+        cursor_s = record.start_s
+        for op in base.per_op:
+            op_end_s = cursor_s + op.seconds * scale
+            tracer.complete(
+                f"serving.op.{op.op_type.lower()}",
+                cursor_s,
+                op_end_s,
+                parent_id=service_id,
+                track=track,
+                op=op.name,
+            )
+            cursor_s = op_end_s
+        tracer.end(request_id, record.end_s)
 
     # ------------------------------------------------------------- services
 
@@ -266,6 +367,12 @@ class ServingSimulator:
                 )
                 seq += 1
 
+        tracer = self.tracer
+        observing = tracer.enabled or self.profiler is not None
+        if tracer.enabled:
+            for i in range(self.num_instances):
+                tracer.set_track_name(i, f"instance {i}")
+
         busy = [False] * self.num_instances
         down = [False] * self.num_instances
         epoch = [0] * self.num_instances
@@ -310,6 +417,8 @@ class ServingSimulator:
                 record = current[instance]
                 assert record is not None
                 records.append(record)
+                if observing:
+                    self._observe_completion(record)
                 busy[instance] = False
                 current[instance] = None
                 if now >= duration_s:
@@ -323,12 +432,27 @@ class ServingSimulator:
             elif kind == 2:  # replica crash
                 down[instance] = True
                 epoch[instance] += 1
+                if tracer.enabled:
+                    tracer.instant("serving.sim.crash", now, track=instance)
                 if busy[instance]:
                     killed += 1
+                    if tracer.enabled:
+                        dead = current[instance]
+                        assert dead is not None
+                        tracer.complete(
+                            "serving.sim.request",
+                            dead.arrival_s,
+                            now,
+                            track=instance,
+                            active_jobs=dead.active_jobs,
+                            outcome="killed",
+                        )
                     busy[instance] = False
                     current[instance] = None
             else:  # kind == 3: replica restart
                 down[instance] = False
+                if tracer.enabled:
+                    tracer.instant("serving.sim.restart", now, track=instance)
                 if now >= duration_s:
                     continue
                 if queues[instance]:

@@ -8,6 +8,7 @@ from .cost_contract import CostContractRule
 from .determinism import DeterminismRule
 from .dtype_discipline import DtypeDisciplineRule
 from .experiment_registry import ExperimentRegistryRule
+from .obs_naming import ObsNamingRule
 from .units import UnitSuffixRule
 
 ALL_RULES: tuple[Rule, ...] = (
@@ -17,6 +18,7 @@ ALL_RULES: tuple[Rule, ...] = (
     DtypeDisciplineRule(),
     ConfigReachabilityRule(),
     ExperimentRegistryRule(),
+    ObsNamingRule(),
 )
 
 

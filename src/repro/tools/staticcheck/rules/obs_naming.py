@@ -1,0 +1,89 @@
+"""SC801 obs-naming: span/metric names and span lifecycle discipline.
+
+The observability layer (:mod:`repro.obs`) identifies every span, instant
+and metric series by a dotted ``layer.component.event`` name (at least
+three lowercase segments — e.g. ``serving.router.attempt``) so traces and
+metric dumps from different subsystems stay greppable and collision-free.
+This rule enforces that convention statically, plus the one lifecycle
+mistake the tracer cannot catch until export time:
+
+* any string literal passed as the name to ``begin`` / ``complete`` /
+  ``instant`` (tracer) or ``counter`` / ``gauge`` / ``histogram``
+  (metrics registry) must match the convention — dynamic names
+  (f-strings and variables) are trusted, the tracer validates them at
+  run time;
+* a ``begin()`` whose span id is discarded (a bare expression statement)
+  can never be ``end()``-ed — use the ``span()`` context manager, or
+  bind the id so the matching ``end`` call is possible.
+
+Test files are exempt: tests legitimately construct invalid names to
+exercise the validators.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ....obs.tracer import SPAN_NAME_RE
+from ..engine import ModuleInfo, Project, Rule, Violation
+
+#: Methods whose first argument is a span/instant name.
+TRACER_METHODS = {"begin", "complete", "instant"}
+
+#: Methods whose first argument is a metric series name.
+METRIC_METHODS = {"counter", "gauge", "histogram"}
+
+
+class ObsNamingRule(Rule):
+    id = "SC801"
+    name = "obs-naming"
+    description = (
+        "span/metric names must be dotted layer.component.event; "
+        "begin() results must be bound so the span can be ended"
+    )
+
+    def check_module(self, module: ModuleInfo, project: Project) -> Iterator[Violation]:
+        if module.is_test:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Expr) and self._is_begin_call(node.value):
+                yield self.violation(
+                    module,
+                    node,
+                    "begin() span id is discarded, so the span can never be "
+                    "ended; bind the id or use the span() context manager",
+                )
+            if isinstance(node, ast.Call):
+                yield from self._check_name_argument(module, node)
+
+    def _is_begin_call(self, node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "begin"
+        )
+
+    def _check_name_argument(
+        self, module: ModuleInfo, node: ast.Call
+    ) -> Iterator[Violation]:
+        if not isinstance(node.func, ast.Attribute):
+            return
+        method = node.func.attr
+        if method not in TRACER_METHODS | METRIC_METHODS:
+            return
+        if not node.args:
+            return
+        first = node.args[0]
+        if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+            return  # dynamic names are validated at run time
+        name = first.value
+        if not SPAN_NAME_RE.match(name):
+            kind = "span/instant" if method in TRACER_METHODS else "metric"
+            yield self.violation(
+                module,
+                node,
+                f"{kind} name {name!r} does not follow the dotted "
+                "layer.component.event convention (>= 3 lowercase segments, "
+                "e.g. 'serving.router.attempt')",
+            )

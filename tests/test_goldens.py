@@ -7,7 +7,50 @@ Refresh after intentional model changes with::
     PYTHONPATH=src python -m pytest tests/test_goldens.py --update-goldens
 """
 
-from repro.experiments import fig09_colocation, fig11_tail_latency, fig11x_faults
+from repro.experiments import (
+    fig09_colocation,
+    fig10_latency_throughput,
+    fig11_tail_latency,
+    fig11x_faults,
+    fig14_trace_locality,
+)
+
+
+def test_fig10_latency_throughput_golden(golden):
+    result = fig10_latency_throughput.run()
+    payload = {
+        "model": result.model_name,
+        "batch_size": result.batch_size,
+        "sla_deadline_s": result.sla.deadline_s,
+        "frontiers": {
+            server: [
+                {
+                    "num_jobs": p.num_jobs,
+                    "latency_s": p.latency_s,
+                    "items_per_s": p.items_per_s,
+                    "meets_sla": p.meets_sla,
+                }
+                for p in points
+            ]
+            for server, points in sorted(result.frontiers.items())
+        },
+    }
+    golden("fig10_latency_throughput", payload)
+
+
+def test_fig14_trace_locality_golden(golden):
+    result = fig14_trace_locality.run(table_rows=200_000, trace_length=8_000)
+    payload = {
+        "rows": [
+            {
+                "name": row.name,
+                "unique_fraction": row.unique_fraction,
+                "llc_mpki": row.llc_mpki,
+            }
+            for row in result.rows
+        ],
+    }
+    golden("fig14_trace_locality", payload)
 
 
 def test_fig09_colocation_golden(golden):

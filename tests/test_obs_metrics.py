@@ -1,0 +1,158 @@
+"""Tier-1 tests for repro.obs.metrics and the shared quantile helper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    SUMMARY_QUANTILES,
+    HistogramStats,
+    MetricsRegistry,
+    quantile,
+    quantiles,
+    series_key,
+)
+
+
+class TestSeriesKey:
+    def test_unlabeled(self):
+        assert series_key("serving.router.offered", {}) == "serving.router.offered"
+
+    def test_labels_sorted(self):
+        key = series_key("serving.router.latency_s", {"policy": "retry", "a": "1"})
+        assert key == "serving.router.latency_s{a=1,policy=retry}"
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("serving.test.offered")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_inc_rejected(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("serving.test.offered")
+        with pytest.raises(ValueError, match="only go up"):
+            counter.inc(-1)
+
+    def test_labels_create_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.counter("serving.test.offered", policy="none").inc()
+        registry.counter("serving.test.offered", policy="retry").inc(2)
+        assert registry.counter("serving.test.offered", policy="none").value == 1
+        assert registry.counter("serving.test.offered", policy="retry").value == 2
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("serving.test.degraded_s")
+        gauge.set(1.5)
+        gauge.set(0.25)
+        assert gauge.value == 0.25
+
+
+class TestHistogram:
+    def test_observe_and_quantile(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("serving.test.latency_s")
+        for v in range(1, 101):
+            hist.observe(float(v))
+        assert hist.count == 100
+        assert hist.quantile(0.5) == quantile(np.arange(1.0, 101.0), 0.5)
+
+    def test_stats_summary(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("serving.test.latency_s")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            hist.observe(v)
+        stats = hist.stats()
+        assert isinstance(stats, HistogramStats)
+        assert stats.count == 4
+        assert stats.total == pytest.approx(10.0)
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.min == 1.0
+        assert stats.max == 4.0
+        assert SUMMARY_QUANTILES == (0.5, 0.95, 0.99, 0.999)
+        assert stats.p50 == quantile([1.0, 2.0, 3.0, 4.0], 0.5)
+        assert stats.p999 == quantile([1.0, 2.0, 3.0, 4.0], 0.999)
+
+    def test_empty_histogram_stats(self):
+        registry = MetricsRegistry()
+        stats = registry.histogram("serving.test.latency_s").stats()
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.p50 == 0.0
+
+
+class TestRegistry:
+    def test_naming_convention_enforced(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="layer.component.event"):
+            registry.counter("offered")
+
+    def test_type_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("serving.test.offered")
+        with pytest.raises(TypeError, match="serving.test.offered"):
+            registry.gauge("serving.test.offered")
+
+    def test_same_series_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("serving.test.offered", policy="retry")
+        b = registry.counter("serving.test.offered", policy="retry")
+        assert a is b
+
+
+class TestSnapshot:
+    def _populated(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("serving.test.offered").inc(10)
+        registry.gauge("serving.test.degraded_s").set(2.0)
+        hist = registry.histogram("serving.test.latency_s")
+        for v in (0.1, 0.2, 0.3):
+            hist.observe(v)
+        return registry
+
+    def test_snapshot_is_stable_and_jsonable(self):
+        registry = self._populated()
+        snap = registry.snapshot()
+        payload = snap.to_jsonable()
+        assert payload["counters"]["serving.test.offered"] == 10
+        assert payload["gauges"]["serving.test.degraded_s"] == 2.0
+        assert payload["histograms"]["serving.test.latency_s"]["count"] == 3
+
+    def test_diff_subtracts_counters_and_keeps_gauges(self):
+        registry = self._populated()
+        before = registry.snapshot()
+        registry.counter("serving.test.offered").inc(5)
+        registry.gauge("serving.test.degraded_s").set(7.0)
+        registry.histogram("serving.test.latency_s").observe(0.4)
+        after = registry.snapshot()
+        delta = after.diff(before)
+        payload = delta.to_jsonable()
+        assert payload["counters"]["serving.test.offered"] == 5
+        assert payload["gauges"]["serving.test.degraded_s"] == 7.0
+        assert payload["histograms"]["serving.test.latency_s"]["count"] == 1
+
+
+class TestQuantileHelper:
+    def test_matches_numpy_percentile(self):
+        rng = np.random.default_rng(7)
+        samples = rng.exponential(scale=3.0, size=1000)
+        for q in (0.05, 0.5, 0.95, 0.99, 0.999):
+            assert quantile(samples, q) == float(np.percentile(samples, 100.0 * q))
+
+    def test_accepts_plain_lists(self):
+        assert quantile([1.0, 2.0, 3.0], 0.5) == 2.0
+
+    def test_quantiles_plural(self):
+        values = quantiles([1.0, 2.0, 3.0, 4.0], (0.5, 1.0))
+        assert values == (2.5, 4.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            quantile([], 0.5)

@@ -1,0 +1,221 @@
+"""Tier-1 tests for repro.obs.tracer and the Chrome trace export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    as_tracer,
+    dumps_chrome,
+    flight_report,
+    stage_stats,
+    to_chrome,
+    top_spans,
+    validate_chrome,
+    waterfall,
+)
+
+
+class TestSpanLifecycle:
+    def test_begin_end_records_interval(self):
+        tracer = Tracer()
+        span_id = tracer.begin("serving.test.request", 1.0, track=3, seed=7)
+        tracer.end(span_id, 1.5, outcome="ok")
+        (span,) = tracer.spans
+        assert span.begin_s == 1.0
+        assert span.end_s == 1.5
+        assert span.duration_s == pytest.approx(0.5)
+        assert span.track == 3
+        assert span.args == {"seed": 7, "outcome": "ok"}
+
+    def test_parent_child_links(self):
+        tracer = Tracer()
+        parent = tracer.begin("serving.test.request", 0.0)
+        child = tracer.complete("serving.test.service", 0.1, 0.2, parent_id=parent)
+        assert tracer.spans[child].parent_id == parent
+        tracer.end(parent, 0.3)
+
+    def test_unknown_parent_rejected(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError, match="unknown parent"):
+            tracer.begin("serving.test.request", 0.0, parent_id=99)
+
+    def test_end_before_begin_rejected(self):
+        tracer = Tracer()
+        span_id = tracer.begin("serving.test.request", 5.0)
+        with pytest.raises(ValueError, match="before it began"):
+            tracer.end(span_id, 4.0)
+
+    def test_double_end_rejected(self):
+        tracer = Tracer()
+        span_id = tracer.begin("serving.test.request", 0.0)
+        tracer.end(span_id, 1.0)
+        with pytest.raises(ValueError, match="not open"):
+            tracer.end(span_id, 2.0)
+
+    def test_open_duration_raises(self):
+        tracer = Tracer()
+        span_id = tracer.begin("serving.test.request", 0.0)
+        with pytest.raises(ValueError, match="still open"):
+            _ = tracer.spans[span_id].duration_s
+
+    def test_close_all_drains_open_spans(self):
+        tracer = Tracer()
+        tracer.begin("serving.test.request", 0.0)
+        late = tracer.begin("serving.test.straggler", 9.0)
+        assert tracer.close_all(2.0, outcome="unresolved") == 2
+        assert tracer.open_spans() == []
+        # A span that began after the horizon closes at its own begin time.
+        assert tracer.spans[late].end_s == 9.0
+        assert tracer.spans[0].args["outcome"] == "unresolved"
+
+
+class TestNaming:
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "request", "serving.request", "Serving.test.request", "a.b.", "a b.c.d"],
+    )
+    def test_invalid_names_rejected(self, bad):
+        tracer = Tracer()
+        with pytest.raises(ValueError, match="layer.component.event"):
+            tracer.begin(bad, 0.0)
+        with pytest.raises(ValueError, match="layer.component.event"):
+            tracer.instant(bad, 0.0)
+
+    def test_three_segment_name_accepted(self):
+        tracer = Tracer()
+        tracer.instant("serving.router.retry", 0.0)
+        assert tracer.instants[0].name == "serving.router.retry"
+
+
+class TestContextManager:
+    def test_span_uses_clock_and_nests(self):
+        times = iter([0.0, 1.0, 2.0, 3.0])
+        tracer = Tracer(clock=lambda: next(times))
+        with tracer.span("serving.test.outer"):
+            with tracer.span("serving.test.inner"):
+                pass
+        outer, inner = tracer.spans
+        assert inner.parent_id == outer.span_id
+        assert (inner.begin_s, inner.end_s) == (1.0, 2.0)
+        assert (outer.begin_s, outer.end_s) == (0.0, 3.0)
+
+    def test_span_without_clock_raises(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError, match="needs a clock"):
+            with tracer.span("serving.test.region"):
+                pass
+
+
+class TestNullTracer:
+    def test_as_tracer_normalizes_none(self):
+        assert as_tracer(None) is NULL_TRACER
+        tracer = Tracer()
+        assert as_tracer(tracer) is tracer
+
+    def test_null_tracer_is_inert(self):
+        null = NullTracer()
+        assert not null.enabled
+        span_id = null.begin("not even a valid name", 0.0)
+        null.end(span_id, 1.0)
+        null.instant("also bad", 0.0)
+        with null.span("still.not.checked"):
+            pass
+        assert null.open_spans() == []
+        assert null.close_all(1.0) == 0
+
+
+def _sample_tracer() -> Tracer:
+    tracer = Tracer()
+    tracer.set_track_name(0, "client")
+    req = tracer.begin("serving.test.request", 0.001, track=0)
+    tracer.complete("serving.test.queue", 0.0015, 0.002, parent_id=req, track=0)
+    tracer.complete("serving.test.service", 0.002, 0.005, parent_id=req, track=0)
+    tracer.end(req, 0.005, outcome="ok")
+    tracer.instant("serving.test.mark", 0.003, track=0)
+    return tracer
+
+
+class TestChromeExport:
+    def test_open_span_blocks_export(self):
+        tracer = Tracer()
+        tracer.begin("serving.test.request", 0.0)
+        with pytest.raises(ValueError, match="still open"):
+            to_chrome(tracer)
+
+    def test_payload_shape(self):
+        payload = to_chrome(_sample_tracer())
+        events = payload["traceEvents"]
+        phases = [e["ph"] for e in events]
+        assert phases.count("M") == 1
+        assert phases.count("X") == 3
+        assert phases.count("i") == 1
+        request = next(e for e in events if e["name"] == "serving.test.request")
+        assert request["ts"] == pytest.approx(1000.0)  # 0.001 s in us
+        assert request["dur"] == pytest.approx(4000.0)
+        assert request["cat"] == "serving"
+
+    def test_export_is_byte_stable(self):
+        assert dumps_chrome(_sample_tracer()) == dumps_chrome(_sample_tracer())
+
+    def test_validate_accepts_good_trace(self):
+        assert validate_chrome(to_chrome(_sample_tracer())) == []
+
+    def test_validate_catches_corruption(self):
+        payload = to_chrome(_sample_tracer())
+        events = json.loads(json.dumps(payload))["traceEvents"]
+        spans = [e for e in events if e["ph"] == "X"]
+        spans[0]["dur"] = -1.0
+        spans[1]["args"]["span_id"] = spans[2]["args"]["span_id"]
+        problems = validate_chrome({"traceEvents": events})
+        assert any("bad dur" in p for p in problems)
+        assert any("duplicate span_id" in p for p in problems)
+
+    def test_validate_catches_dangling_parent(self):
+        payload = to_chrome(_sample_tracer())
+        events = [
+            e
+            for e in payload["traceEvents"]
+            if e.get("args", {}).get("span_id") != 0
+        ]
+        problems = validate_chrome({"traceEvents": events})
+        assert any("refers to no span" in p for p in problems)
+
+    def test_validate_rejects_non_payload(self):
+        assert validate_chrome({}) == ["payload has no traceEvents list"]
+
+
+class TestFlightReport:
+    def test_stage_stats_orders_by_first_begin(self):
+        stats = stage_stats(_sample_tracer())
+        assert [s.name for s in stats] == [
+            "serving.test.request",
+            "serving.test.queue",
+            "serving.test.service",
+        ]
+        request = stats[0]
+        assert request.count == 1
+        assert request.total_s == pytest.approx(0.004)
+
+    def test_waterfall_and_top_spans_render(self):
+        tracer = _sample_tracer()
+        text = waterfall(tracer)
+        assert "serving.test.service" in text
+        top = top_spans(tracer, k=2)
+        assert "serving.test.request" in top
+
+    def test_empty_tracer_renders_placeholder(self):
+        tracer = Tracer()
+        assert "no closed spans" in waterfall(tracer)
+        assert "no closed spans" in top_spans(tracer)
+
+    def test_flight_report_combines_sections(self):
+        report = flight_report(_sample_tracer(), top_k=3)
+        assert "flight recorder: 3 span(s)" in report
+        assert "per-stage waterfall" in report
+        assert "top 3 spans" in report

@@ -500,6 +500,86 @@ class TestExperimentRegistry:
         assert "missing from" in violations[0].message
 
 
+# --------------------------------------------------------------------- SC801
+
+
+class TestObsNaming:
+    def test_bad_span_name_flagged(self, tmp_path):
+        violations = check_snippet(
+            tmp_path,
+            """
+            def record(tracer, now_s):
+                span_id = tracer.begin("bad-name", now_s)
+                tracer.end(span_id, now_s)
+            """,
+            "SC801",
+        )
+        assert len(violations) == 1
+        assert "layer.component.event" in violations[0].message
+
+    def test_two_segment_name_flagged(self, tmp_path):
+        violations = check_snippet(
+            tmp_path,
+            """
+            def record(registry):
+                registry.counter("serving.retries").inc()
+            """,
+            "SC801",
+        )
+        assert len(violations) == 1
+        assert "'serving.retries'" in violations[0].message
+
+    def test_good_names_pass(self, tmp_path):
+        violations = check_snippet(
+            tmp_path,
+            """
+            def record(tracer, registry, now_s):
+                span_id = tracer.begin("serving.router.attempt", now_s)
+                tracer.instant("serving.router.retry", now_s)
+                tracer.end(span_id, now_s)
+                registry.counter("serving.router.retries").inc()
+                registry.histogram("serving.router.latency_s").observe(0.1)
+            """,
+            "SC801",
+        )
+        assert violations == []
+
+    def test_discarded_begin_flagged(self, tmp_path):
+        violations = check_snippet(
+            tmp_path,
+            """
+            def record(tracer, now_s):
+                tracer.begin("serving.router.request", now_s)
+            """,
+            "SC801",
+        )
+        assert len(violations) == 1
+        assert "discarded" in violations[0].message
+
+    def test_dynamic_name_trusted(self, tmp_path):
+        violations = check_snippet(
+            tmp_path,
+            """
+            def record(tracer, op_type, begin_s, end_s):
+                tracer.complete(f"serving.op.{op_type}", begin_s, end_s)
+            """,
+            "SC801",
+        )
+        assert violations == []
+
+    def test_tests_exempt(self, tmp_path):
+        violations = check_snippet(
+            tmp_path,
+            """
+            def test_rejects_bad_name(tracer):
+                tracer.instant("not dotted", 0.0)
+            """,
+            "SC801",
+            relname="tests/test_fixture.py",
+        )
+        assert violations == []
+
+
 # ------------------------------------------------------------ graph validator
 
 
