@@ -44,6 +44,7 @@ _ORDERED = [
     "whatif",
     "figure11",
     "figure11x",
+    "figure11y",
     "figure14",
     "figure5",
 ]

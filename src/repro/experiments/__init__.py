@@ -20,6 +20,7 @@ from . import (
     fig10_latency_throughput,
     fig11_tail_latency,
     fig11x_faults,
+    fig11y_overload,
     fig12_ncf_comparison,
     fig14_trace_locality,
     micro_takeaways,
@@ -40,6 +41,7 @@ REGISTRY = {
     "figure10": fig10_latency_throughput,
     "figure11": fig11_tail_latency,
     "figure11x": fig11x_faults,
+    "figure11y": fig11y_overload,
     "figure12": fig12_ncf_comparison,
     "figure14": fig14_trace_locality,
     "table1": table1_model_params,

@@ -11,6 +11,7 @@ the SLA-optimal operating point per server generation.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 
 import numpy as np
@@ -20,14 +21,19 @@ from ..config.model_config import ModelConfig
 from ..hw.server import ServerSpec
 from ..hw.timing import TimingModel
 from ..obs.tracer import NullTracer, Tracer, as_tracer
-from .batcher import batch_stream
+from .batcher import Batch, Batcher, batch_stream
 from .loadgen import PoissonLoadGenerator
 from .metrics import SLA
 
 
 @dataclass(frozen=True)
 class BatchedServingResult:
-    """Outcome of one batched-serving simulation."""
+    """Outcome of one batched-serving simulation.
+
+    ``shed`` counts queries refused by backpressure (the model's batch
+    backlog was at ``queue_capacity`` when they arrived); 0 when
+    unbounded.
+    """
 
     server_name: str
     model_name: str
@@ -37,6 +43,7 @@ class BatchedServingResult:
     items_served: int
     duration_s: float
     mean_batch_size: float
+    shed: int = 0
 
     def summary(self) -> LatencySummary:
         """Per-query latency percentiles (wait + inference)."""
@@ -65,6 +72,12 @@ class BatchedServer:
             to completion) with ``collect``/``wait``/``service`` children
             on the batcher and model tracks. The default nil tracer
             records nothing and never perturbs the simulation.
+        queue_capacity: backpressure bound on formed-but-unfinished
+            batches. When the model instance already has this many
+            batches in flight, the batcher stops accepting and new
+            queries are shed at arrival (propagated upstream) instead of
+            queueing without bound. ``None`` (the default) reproduces the
+            historical unbounded run bit for bit.
     """
 
     def __init__(
@@ -75,9 +88,13 @@ class BatchedServer:
         max_wait_s: float = 0.001,
         items_per_query: int = 1,
         tracer: Tracer | NullTracer | None = None,
+        queue_capacity: int | None = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be positive")
+        if queue_capacity is not None and queue_capacity < 1:
+            raise ValueError("queue_capacity must be positive")
+        self.queue_capacity = queue_capacity
         self.server = server
         self.config = config
         self.max_batch = max_batch
@@ -105,7 +122,6 @@ class BatchedServer:
         ).generate(duration_s)
         if not queries:
             raise ValueError("no queries generated; raise rate or duration")
-        batches = batch_stream(queries, self.max_batch, self.max_wait_s)
 
         tracer = self.tracer
         if tracer.enabled:
@@ -115,8 +131,12 @@ class BatchedServer:
         free_at = 0.0
         latencies: list[float] = []
         items = 0
-        batch_sizes = []
-        for batch in batches:
+        batch_sizes: list[int] = []
+        shed = 0
+
+        def serve(batch: Batch) -> float:
+            """Run one batch on the model; returns its completion time."""
+            nonlocal free_at, items
             start = max(batch.formed_at_s, free_at)
             service = self._service_s(batch.num_items)
             done = start + service
@@ -157,6 +177,36 @@ class BatchedServer:
                     num_items=batch.num_items,
                 )
                 tracer.end(batch_id, done)
+            return done
+
+        if self.queue_capacity is None:
+            for batch in batch_stream(queries, self.max_batch, self.max_wait_s):
+                serve(batch)
+        else:
+            # Backpressure path: the batcher only dispatches into a
+            # bounded backlog of formed batches; while the model has
+            # ``queue_capacity`` batches in flight, arriving queries are
+            # refused at admission (shed upstream) rather than absorbed.
+            batcher = Batcher(max_items=self.max_batch, max_wait_s=self.max_wait_s)
+            in_flight: list[float] = []  # completion times, min-heap
+            for query in sorted(queries, key=lambda q: q.arrival_s):
+                now = query.arrival_s
+                while in_flight and in_flight[0] <= now:
+                    heapq.heappop(in_flight)
+                timed_out = batcher.poll(now)
+                if timed_out is not None:
+                    heapq.heappush(in_flight, serve(timed_out))
+                    while in_flight and in_flight[0] <= now:
+                        heapq.heappop(in_flight)
+                if len(in_flight) >= self.queue_capacity:
+                    shed += 1
+                    continue
+                formed = batcher.offer(query)
+                if formed is not None:
+                    heapq.heappush(in_flight, serve(formed))
+            tail = batcher.flush(queries[-1].arrival_s + self.max_wait_s)
+            if tail is not None:
+                serve(tail)
 
         return BatchedServingResult(
             server_name=self.server.name,
@@ -166,7 +216,8 @@ class BatchedServer:
             query_latencies_s=np.asarray(latencies),
             items_served=items,
             duration_s=duration_s,
-            mean_batch_size=float(np.mean(batch_sizes)),
+            mean_batch_size=float(np.mean(batch_sizes)) if batch_sizes else 0.0,
+            shed=shed,
         )
 
 

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, replace
+from typing import Sequence
 
 import numpy as np
 
@@ -49,6 +50,19 @@ from ..obs.tracer import NullTracer, Tracer, as_tracer
 from .metrics import SLA, ResilienceStats, goodput_qps
 from .ranking_quality import pipeline_quality
 from .router import SERVICE_NOISE_SIGMA, pick_machine
+
+# ``overload`` never imports this module at import time (its one faults
+# dependency is deferred into a method body), so this edge is acyclic.
+from .overload import (
+    SHED_CODEL,
+    SHED_DEADLINE,
+    SHED_OLDEST,
+    SHED_QUEUE_FULL,
+    BrownoutController,
+    CircuitBreaker,
+    OverloadConfig,
+    OverloadStats,
+)
 
 # --------------------------------------------------------------- injectors
 
@@ -440,7 +454,7 @@ class _Request:
     """Mutable per-request state (client side)."""
 
     __slots__ = (
-        "arrival_s", "done", "failed", "degraded", "latency_s",
+        "arrival_s", "done", "failed", "degraded", "tier", "latency_s",
         "retries_used", "hedged", "live_attempts",
     )
 
@@ -449,6 +463,7 @@ class _Request:
         self.done = False
         self.failed = False
         self.degraded = False
+        self.tier = 0
         self.latency_s = 0.0
         self.retries_used = 0
         self.hedged = False
@@ -458,12 +473,13 @@ class _Request:
 class _Attempt:
     """One routed attempt of a request (server side)."""
 
-    __slots__ = ("request_id", "machine", "state")
+    __slots__ = ("request_id", "machine", "state", "enqueued_s")
 
-    def __init__(self, request_id: int, machine: int) -> None:
+    def __init__(self, request_id: int, machine: int, enqueued_s: float) -> None:
         self.request_id = request_id
         self.machine = machine
         self.state = _QUEUED
+        self.enqueued_s = enqueued_s
 
 
 @dataclass
@@ -486,11 +502,21 @@ class FaultyServingResult:
     degraded_completions: int
     time_in_degraded_s: float
     quality: dict[str, float] | None = None
+    #: Overload-protection accounting; ``None`` when ``overload`` was off.
+    overload: "OverloadStats | None" = None
+    #: Per-brownout-tier ranking quality (tiers 1..N); ``None`` without
+    #: a brownout policy.
+    brownout_quality: tuple[dict[str, float], ...] | None = None
 
     @property
     def completed(self) -> int:
         """Requests that received a response."""
         return int(self.latencies_s.size)
+
+    @property
+    def unresolved(self) -> int:
+        """Offered requests still in flight at the horizon."""
+        return self.offered - self.completed - self.failed
 
     def summary(self) -> LatencySummary:
         """Percentile summary of completed-request latencies."""
@@ -542,6 +568,12 @@ class ResilientRouter:
         num_machines: replica count.
         policy: resilience knobs (default: none — the pre-fault stack).
         degradation: graceful-degradation knobs (default: never degrade).
+        overload: overload-protection bundle
+            (:class:`~repro.serving.overload.OverloadConfig`): bounded
+            admission with shedding, per-replica circuit breakers that
+            retries and hedges respect, and SLO-aware brownout through
+            quality tiers. ``None`` (the default) reproduces the
+            unprotected run byte for byte.
         routing: load-balancing policy (:data:`repro.serving.router.POLICIES`).
         seed: RNG seed for arrivals and service noise. The fault stream is
             seeded separately inside :func:`fault_storm`, so policy
@@ -568,6 +600,7 @@ class ResilientRouter:
         num_machines: int,
         policy: ResiliencePolicy | None = None,
         degradation: DegradationPolicy | None = None,
+        overload: "OverloadConfig | None" = None,
         routing: str = "jsq2",
         seed: int = 0,
         tracer: Tracer | NullTracer | None = None,
@@ -582,6 +615,7 @@ class ResilientRouter:
         self.num_machines = num_machines
         self.policy = policy or ResiliencePolicy.none()
         self.degradation = degradation
+        self.overload = overload
         self.routing = routing
         self.seed = seed
         self.tracer = as_tracer(tracer)
@@ -602,6 +636,23 @@ class ResilientRouter:
         else:
             self._degraded_service_s = self._base_service_s
             self._quality = None
+        # Brownout tiers: per-tier service time and quality cost, priced
+        # once up front. Index 0 is full quality.
+        if overload is not None and overload.brownout is not None:
+            tier_configs = [
+                tier.degraded_config(config)
+                for tier in overload.brownout.tiers
+            ]
+            self._tier_service_s = [self._base_service_s] + [
+                timing.model_latency(c, batch_size).total_seconds
+                for c in tier_configs
+            ]
+            self._brownout_quality = tuple(
+                degraded_quality(config, c, seed=seed) for c in tier_configs
+            )
+        else:
+            self._tier_service_s = [self._base_service_s]
+            self._brownout_quality = None
 
     def max_stable_qps(self) -> float:
         """Arrival rate at 100% fleet utilization (no faults)."""
@@ -620,11 +671,41 @@ class ResilientRouter:
         degraded_completions: int,
         time_in_degraded_s: float,
         latencies: list[float],
+        overload_stats: "OverloadStats | None" = None,
     ) -> None:
         """Publish one run's accounting into the attached registry."""
         registry = self.metrics
         assert registry is not None
         labels = self.metrics_labels
+        if overload_stats is not None:
+            registry.counter("serving.overload.offered", **labels).inc(
+                overload_stats.offered
+            )
+            registry.counter("serving.overload.admitted", **labels).inc(
+                overload_stats.admitted
+            )
+            for reason in sorted(overload_stats.shed_by_reason):
+                registry.counter(
+                    "serving.overload.shed", reason=reason, **labels
+                ).inc(overload_stats.shed_by_reason[reason])
+            registry.counter("serving.breaker.opens", **labels).inc(
+                overload_stats.breaker_opens
+            )
+            registry.counter("serving.breaker.rejections", **labels).inc(
+                overload_stats.breaker_rejections
+            )
+            registry.counter("serving.brownout.switches", **labels).inc(
+                overload_stats.brownout_switches
+            )
+            registry.gauge("serving.brownout.max_tier", **labels).set(
+                overload_stats.max_brownout_tier
+            )
+            registry.gauge("serving.queue.max_depth", **labels).set(
+                overload_stats.max_queue_depth
+            )
+            registry.gauge("serving.overload.time_degraded_s", **labels).set(
+                overload_stats.time_degraded_s
+            )
         counts = {
             "serving.router.offered": n_offered,
             "serving.router.completed": completed,
@@ -653,14 +734,48 @@ class ResilientRouter:
         duration_s: float = 1.0,
         faults: FaultSchedule | None = None,
         sla: SLA | None = None,
+        arrival_times_s: Sequence[float] | None = None,
     ) -> FaultyServingResult:
-        """Simulate ``duration_s`` of Poisson arrivals under ``faults``."""
+        """Simulate ``duration_s`` of Poisson arrivals under ``faults``.
+
+        ``arrival_times_s`` replaces the internal Poisson process with an
+        explicit arrival trace (e.g. a flash crowd from
+        :class:`~repro.serving.loadgen.SpikeLoadGenerator`); every time
+        must lie in ``[0, duration_s)``. ``offered_qps`` is then only the
+        nominal rate recorded in the result.
+        """
         if offered_qps <= 0 or duration_s <= 0:
             raise ValueError("rate and duration must be positive")
         faults = faults or FaultSchedule.zero()
         sla = sla or SLA(deadline_s=10.0 * self._base_service_s, percentile=0.99)
         policy = self.policy
         rng = np.random.default_rng(self.seed)
+
+        # Overload protection: admission bound + CoDel per machine, one
+        # circuit breaker per machine, one brownout controller. All are
+        # None when unconfigured, and every branch below that touches them
+        # is skipped — the unprotected run is byte-identical.
+        overload = self.overload
+        admission = overload.admission if overload is not None else None
+        expected_service_s = self._base_service_s
+        codels = (
+            [admission.make_codel() for _ in range(self.num_machines)]
+            if admission is not None
+            else None
+        )
+        breakers = (
+            [CircuitBreaker(overload.breaker) for _ in range(self.num_machines)]
+            if overload is not None and overload.breaker is not None
+            else None
+        )
+        brownout = (
+            BrownoutController(overload.brownout)
+            if overload is not None and overload.brownout is not None
+            else None
+        )
+        ovl_stats = OverloadStats() if overload is not None else None
+        if ovl_stats is not None and brownout is not None:
+            ovl_stats.completions_by_tier = [0] * overload.brownout.num_tiers
 
         requests: list[_Request] = []
         attempts: list[_Attempt] = []
@@ -701,15 +816,26 @@ class ResilientRouter:
 
         # Pre-materialize arrivals so the arrival stream is independent of
         # policy decisions (one storm, comparable policies).
-        t_s = 0.0
         n_offered = 0
-        while True:
-            t_s += float(rng.exponential(1.0 / offered_qps))
-            if t_s >= duration_s:
-                break
-            push(t_s, _EV_ARRIVAL, n_offered)
-            requests.append(_Request(arrival_s=t_s))
-            n_offered += 1
+        if arrival_times_s is None:
+            t_s = 0.0
+            while True:
+                t_s += float(rng.exponential(1.0 / offered_qps))
+                if t_s >= duration_s:
+                    break
+                push(t_s, _EV_ARRIVAL, n_offered)
+                requests.append(_Request(arrival_s=t_s))
+                n_offered += 1
+        else:
+            for raw_t_s in arrival_times_s:
+                t_s = float(raw_t_s)
+                if not 0.0 <= t_s < duration_s:
+                    raise ValueError(
+                        "arrival times must lie in [0, duration_s)"
+                    )
+                push(t_s, _EV_ARRIVAL, n_offered)
+                requests.append(_Request(arrival_s=t_s))
+                n_offered += 1
 
         for edge_t_s, replica_id, goes_down in faults.transition_events(
             self.num_machines
@@ -732,6 +858,42 @@ class ResilientRouter:
             if admitted[machine]:
                 admitted[machine] = False
                 ejections += 1
+
+        def shed(reason: str, machine: int, now_s: float) -> None:
+            """Account one shed event (admission/CoDel drop)."""
+            assert ovl_stats is not None
+            ovl_stats.count_shed(reason)
+            if tracer.enabled:
+                tracer.instant(
+                    "serving.overload.shed", now_s, track=machine, reason=reason
+                )
+
+        def breaker_note(machine: int, before: str, now_s: float) -> None:
+            """Emit an instant when a breaker changed state."""
+            assert breakers is not None
+            after = breakers[machine].state
+            if tracer.enabled and after != before:
+                tracer.instant(f"serving.breaker.{after}", now_s, track=machine)
+
+        def breaker_failure(machine: int, now_s: float) -> None:
+            if breakers is None:
+                return
+            before = breakers[machine].state
+            breakers[machine].record_failure(now_s)
+            breaker_note(machine, before, now_s)
+
+        def breaker_success(machine: int, now_s: float) -> None:
+            if breakers is None:
+                return
+            before = breakers[machine].state
+            breakers[machine].record_success(now_s)
+            breaker_note(machine, before, now_s)
+
+        def waiting_depth(machine: int) -> int:
+            """Live queued attempts (stale entries excluded)."""
+            return sum(
+                1 for aid in queues[machine] if attempts[aid].state == _QUEUED
+            )
 
         def degraded_now(now_s: float) -> bool:
             """Evaluate + account the degraded-mode state at ``now_s``."""
@@ -775,12 +937,28 @@ class ResilientRouter:
                                 outcome="cancelled",
                             )
                     continue
+                if codels is not None and codels[machine] is not None:
+                    sojourn_s = now_s - attempt.enqueued_s
+                    if codels[machine].on_dequeue(sojourn_s, now_s):
+                        # Standing queue: CoDel sheds the head-of-line
+                        # request to drain delay, not just length.
+                        attempt.state = _CANCELLED
+                        request.live_attempts -= 1
+                        shed(SHED_CODEL, machine, now_s)
+                        if tracer.enabled and attempt_id in attempt_span:
+                            tracer.end(
+                                attempt_span.pop(attempt_id),
+                                now_s,
+                                outcome="shed",
+                            )
+                        attempt_failed(attempt.request_id, now_s)
+                        continue
                 attempt.state = _RUNNING
                 running[machine] = attempt_id
                 base_s = (
                     self._degraded_service_s
                     if request.degraded
-                    else self._base_service_s
+                    else self._tier_service_s[request.tier]
                 )
                 multiplier = faults.service_multiplier(
                     machine, now_s, self._memory_fraction
@@ -800,7 +978,18 @@ class ResilientRouter:
             request = requests[request_id]
             if request.done or request.failed:
                 return
+            if ovl_stats is not None:
+                ovl_stats.offered += 1
             candidates = [m for m in range(self.num_machines) if admitted[m]]
+            if breakers is not None and candidates:
+                # Retries and hedges route through here too, so every
+                # attempt respects open breakers.
+                closed = [m for m in candidates if breakers[m].allows(now_s)]
+                if not closed:
+                    ovl_stats.breaker_rejections += 1
+                    attempt_failed(request_id, now_s)
+                    return
+                candidates = closed
             if not candidates:
                 attempt_failed(request_id, now_s)
                 return
@@ -812,17 +1001,68 @@ class ResilientRouter:
                 # Connection refused: passive health detection.
                 fail_fasts += 1
                 eject(machine)
+                breaker_failure(machine, now_s)
                 if tracer.enabled:
                     tracer.instant(
                         "serving.router.failfast", now_s, track=machine
                     )
                 attempt_failed(request_id, now_s)
                 return
-            attempt = _Attempt(request_id, machine)
+            if admission is not None:
+                waiting = waiting_depth(machine)
+                if admission.shed_policy == "deadline_aware":
+                    # Shed arrivals that cannot meet the deadline given
+                    # the queue already ahead of them: the work is dead
+                    # on arrival, serving it only delays live requests.
+                    wait_s = (
+                        waiting + (running[machine] is not None)
+                    ) * expected_service_s
+                    projected_s = (
+                        now_s + wait_s + expected_service_s - request.arrival_s
+                    )
+                    if projected_s > admission.deadline_s:
+                        shed(SHED_DEADLINE, machine, now_s)
+                        attempt_failed(request_id, now_s)
+                        return
+                if waiting >= admission.queue_capacity:
+                    if admission.shed_policy == "reject_oldest":
+                        victim_id = next(
+                            (
+                                aid
+                                for aid in queues[machine]
+                                if attempts[aid].state == _QUEUED
+                            ),
+                            None,
+                        )
+                        if victim_id is not None:
+                            queues[machine].remove(victim_id)
+                            victim = attempts[victim_id]
+                            victim.state = _CANCELLED
+                            requests[victim.request_id].live_attempts -= 1
+                            shed(SHED_OLDEST, machine, now_s)
+                            if tracer.enabled and victim_id in attempt_span:
+                                tracer.end(
+                                    attempt_span.pop(victim_id),
+                                    now_s,
+                                    outcome="shed",
+                                )
+                            attempt_failed(victim.request_id, now_s)
+                    else:
+                        shed(SHED_QUEUE_FULL, machine, now_s)
+                        attempt_failed(request_id, now_s)
+                        return
+            if breakers is not None:
+                breakers[machine].note_probe()
+            attempt = _Attempt(request_id, machine, now_s)
             attempt_id = len(attempts)
             attempts.append(attempt)
             request.live_attempts += 1
             queues[machine].append(attempt_id)
+            if ovl_stats is not None:
+                ovl_stats.admitted += 1
+                depth = waiting_depth(machine)
+                if depth > ovl_stats.max_queue_depth:
+                    ovl_stats.max_queue_depth = depth
             if tracer.enabled:
                 attempt_span[attempt_id] = tracer.begin(
                     "serving.router.attempt",
@@ -871,6 +1111,30 @@ class ResilientRouter:
                 if request.done or request.failed:
                     continue
                 if not is_retry:
+                    if brownout is not None:
+                        cands = [
+                            m for m in range(self.num_machines) if admitted[m]
+                        ]
+                        pressure = (
+                            sum(queue_len(m) for m in cands) / len(cands)
+                            if cands
+                            else float("inf")
+                        )
+                        before_tier = brownout.tier
+                        request.tier = brownout.update(now_s, pressure)
+                        if brownout.tier != before_tier:
+                            if tracer.enabled:
+                                tracer.instant(
+                                    "serving.brownout.step",
+                                    now_s,
+                                    track=client_track,
+                                    tier=brownout.tier,
+                                )
+                            if (
+                                ovl_stats is not None
+                                and brownout.tier > ovl_stats.max_brownout_tier
+                            ):
+                                ovl_stats.max_brownout_tier = brownout.tier
                     request.degraded = degraded_now(now_s)
                     if tracer.enabled:
                         request_span[request_id] = tracer.begin(
@@ -892,6 +1156,7 @@ class ResilientRouter:
                 if running[machine] != attempt_id:
                     continue  # killed by a crash; the restart superseded it
                 running[machine] = None
+                breaker_success(machine, now_s)
                 if attempt.state == _CANCELLED:
                     # Abandoned by a timeout but ran to completion anyway:
                     # the occupancy was real, the response is discarded.
@@ -913,6 +1178,8 @@ class ResilientRouter:
                     request.done = True
                     request.latency_s = now_s - request.arrival_s
                     latencies.append(request.latency_s)
+                    if ovl_stats is not None and brownout is not None:
+                        ovl_stats.completions_by_tier[request.tier] += 1
                     if request.degraded:
                         degraded_completions += 1
                     if tracer.enabled:
@@ -939,6 +1206,7 @@ class ResilientRouter:
                 # The client abandons this attempt. Queued work is dropped;
                 # in-flight work cannot be yanked back — it keeps occupying
                 # the machine and completes as waste (see _EV_COMPLETE).
+                breaker_failure(attempt.machine, now_s)
                 attempt.state = _CANCELLED
                 request.live_attempts -= 1
                 if tracer.enabled:
@@ -970,6 +1238,7 @@ class ResilientRouter:
                 machine, goes_down = a, bool(b)
                 if goes_down:
                     up[machine] = False
+                    breaker_failure(machine, now_s)
                     if tracer.enabled:
                         tracer.instant(
                             "serving.router.crash", now_s, track=machine
@@ -1019,6 +1288,13 @@ class ResilientRouter:
 
         if degraded_on:
             time_in_degraded_s += duration_s - degraded_since_s
+        if ovl_stats is not None:
+            if brownout is not None:
+                brownout.finish(duration_s)
+                ovl_stats.brownout_switches = brownout.switches
+                ovl_stats.time_in_tier_s = list(brownout.time_in_tier_s)
+            if breakers is not None:
+                ovl_stats.breaker_opens = sum(b.opens for b in breakers)
         # Unresolved requests at drain end (e.g. waiting forever on a down
         # replica with no timeout) are neither completed nor failed; they
         # count against availability via ``offered``.
@@ -1037,6 +1313,7 @@ class ResilientRouter:
                 degraded_completions=degraded_completions,
                 time_in_degraded_s=time_in_degraded_s,
                 latencies=latencies,
+                overload_stats=ovl_stats,
             )
         return FaultyServingResult(
             policy=policy,
@@ -1055,4 +1332,6 @@ class ResilientRouter:
             degraded_completions=degraded_completions,
             time_in_degraded_s=time_in_degraded_s,
             quality=self._quality,
+            overload=ovl_stats,
+            brownout_quality=self._brownout_quality if brownout is not None else None,
         )

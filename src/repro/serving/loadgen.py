@@ -11,6 +11,10 @@ Three modes:
   multipliers: the failover / retry-storm / flash-crowd traffic shapes the
   fault-injection layer (:mod:`repro.serving.faults`) stresses degraded
   fleets with.
+* :class:`DiurnalLoadGenerator` — open-loop Poisson with a sinusoidal
+  day/night baseline (the paper's fleets provision for the diurnal peak);
+  accepts the same spikes as :class:`SpikeLoadGenerator`, so a flash
+  crowd riding the evening peak is one seeded trace.
 """
 
 from __future__ import annotations
@@ -97,6 +101,36 @@ class LoadSpike:
             raise ValueError("spike multiplier must be non-negative")
 
 
+def _thinned_arrivals(
+    rng: np.random.Generator,
+    rate_at,
+    envelope_qps: float,
+    duration_s: float,
+    num_items: int,
+) -> list[Query]:
+    """Exact time-varying Poisson stream by thinning.
+
+    Candidates are drawn at the constant ``envelope_qps`` and accepted
+    with probability ``rate_at(t) / envelope_qps``. Both draws happen for
+    every candidate, so the stream is fully determined by the generator's
+    seed regardless of the rate profile.
+    """
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    queries: list[Query] = []
+    t = 0.0
+    qid = 0
+    while True:
+        t += float(rng.exponential(1.0 / envelope_qps))
+        if t >= duration_s:
+            break
+        accept = float(rng.uniform()) < rate_at(t) / envelope_qps
+        if accept:
+            queries.append(Query(query_id=qid, arrival_s=t, num_items=num_items))
+            qid += 1
+    return queries
+
+
 class SpikeLoadGenerator:
     """Poisson arrivals whose rate jumps during configured spikes.
 
@@ -148,23 +182,89 @@ class SpikeLoadGenerator:
 
     def generate(self, duration_s: float) -> list[Query]:
         """All queries arriving within ``duration_s``."""
-        if duration_s <= 0:
-            raise ValueError("duration must be positive")
-        envelope_qps = self.max_rate_qps()
-        queries: list[Query] = []
-        t = 0.0
-        qid = 0
-        while True:
-            t += float(self._rng.exponential(1.0 / envelope_qps))
-            if t >= duration_s:
-                break
-            accept = float(self._rng.uniform()) < self.rate_at(t) / envelope_qps
-            if accept:
-                queries.append(
-                    Query(query_id=qid, arrival_s=t, num_items=self.num_items)
-                )
-                qid += 1
-        return queries
+        return _thinned_arrivals(
+            self._rng, self.rate_at, self.max_rate_qps(), duration_s, self.num_items
+        )
+
+
+class DiurnalLoadGenerator:
+    """Poisson arrivals riding a sinusoidal day/night cycle.
+
+    The instantaneous rate is
+
+    ``mean_qps * (1 + amplitude * sin(2π * (t - phase_s) / period_s))``
+
+    times any active spike multipliers, realized exactly by thinning
+    against the peak-rate envelope (same scheme as
+    :class:`SpikeLoadGenerator`, same seeding guarantees). Composing a
+    :class:`LoadSpike` onto the diurnal peak yields the flash-crowd
+    traces the overload layer (:mod:`repro.serving.overload`) is
+    stress-tested with.
+
+    Args:
+        mean_qps: cycle-average rate.
+        amplitude: relative swing, in ``[0, 1]`` (1 means the trough
+            reaches zero qps).
+        period_s: cycle length (86400 for a literal day; simulations
+            usually compress it).
+        phase_s: time of the cycle's zero-crossing on the way up.
+        spikes: rate-multiplier intervals, compounding with the sinusoid
+            (and with each other where they overlap).
+        num_items: items per query.
+        seed: RNG seed.
+    """
+
+    def __init__(
+        self,
+        mean_qps: float,
+        amplitude: float = 0.5,
+        period_s: float = 86_400.0,
+        phase_s: float = 0.0,
+        spikes: tuple[LoadSpike, ...] | list[LoadSpike] = (),
+        num_items: int = 1,
+        seed: int = 0,
+    ) -> None:
+        if mean_qps <= 0:
+            raise ValueError("rate must be positive")
+        if not 0.0 <= amplitude <= 1.0:
+            raise ValueError("amplitude must be in [0, 1]")
+        if period_s <= 0:
+            raise ValueError("period must be positive")
+        if num_items < 1:
+            raise ValueError("num_items must be positive")
+        self.mean_qps = mean_qps
+        self.amplitude = amplitude
+        self.period_s = period_s
+        self.phase_s = phase_s
+        self.spikes = tuple(spikes)
+        self.num_items = num_items
+        self._rng = np.random.default_rng(seed)
+
+    def rate_at(self, t_s: float) -> float:
+        """Instantaneous offered rate (qps) at time ``t_s``."""
+        rate = self.mean_qps * (
+            1.0
+            + self.amplitude
+            * float(np.sin(2.0 * np.pi * (t_s - self.phase_s) / self.period_s))
+        )
+        for spike in self.spikes:
+            if spike.start_s <= t_s < spike.start_s + spike.duration_s:
+                rate *= spike.multiplier
+        return rate
+
+    def max_rate_qps(self) -> float:
+        """Upper bound on the instantaneous rate (thinning envelope)."""
+        rate = self.mean_qps * (1.0 + self.amplitude)
+        for spike in self.spikes:
+            if spike.multiplier > 1.0:
+                rate *= spike.multiplier
+        return rate
+
+    def generate(self, duration_s: float) -> list[Query]:
+        """All queries arriving within ``duration_s``."""
+        return _thinned_arrivals(
+            self._rng, self.rate_at, self.max_rate_qps(), duration_s, self.num_items
+        )
 
 
 class ClosedLoopLoadGenerator:

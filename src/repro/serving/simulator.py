@@ -32,11 +32,14 @@ from ..hw.colocation import ColocationState
 from ..hw.server import ServerSpec
 from ..hw.timing import ModelLatency, TimingModel
 from ..obs.tracer import as_tracer
+from .overload import SHED_CODEL, SHED_DEADLINE, SHED_OLDEST, SHED_QUEUE_FULL
 
 if TYPE_CHECKING:
+    from ..obs.metrics import MetricsRegistry
     from ..obs.profile import OpProfiler
     from ..obs.tracer import NullTracer, Tracer
     from .faults import FaultSchedule
+    from .overload import OverloadConfig
 
 #: Baseline multiplicative latency noise (OS jitter, clock, queue probes).
 BASE_NOISE_SIGMA = 0.04
@@ -96,6 +99,12 @@ class SimulationResult:
     a replica crash. Both are zero-fault-compatible: without a fault
     schedule ``killed`` is 0 and every offered arrival eventually
     completes or is still queued at the horizon.
+
+    ``shed`` counts arrivals dropped by admission control (0 without an
+    overload config), and ``max_queue_depth`` is the deepest per-instance
+    backlog observed — the overload-onset signal, tracked even with
+    protection off. Conservation: ``offered = completed + shed + killed +
+    in-flight/queued at the horizon``.
     """
 
     server_name: str
@@ -107,6 +116,8 @@ class SimulationResult:
     offered: int = 0
     killed: int = 0
     downtime_s: float = 0.0
+    shed: int = 0
+    max_queue_depth: int = 0
 
     def latencies_s(self) -> np.ndarray:
         """End-to-end latency of every completed inference."""
@@ -166,6 +177,20 @@ class ServingSimulator:
         profiler: optional :class:`~repro.obs.profile.OpProfiler`; every
             completed inference's realized service time is attributed to
             its per-operator shares (the Figure-4 view of the run).
+        overload: optional
+            :class:`~repro.serving.overload.OverloadConfig`. Only the
+            ``admission`` leg applies here: each instance's queue is
+            bounded with the configured shed policy plus an optional
+            CoDel sojourn controller. Circuit breakers and brownout are
+            fleet/router concerns (no alternative replica, no quality
+            tiers on this co-location model) and raise ``ValueError``.
+            ``None`` (the default) reproduces the unbounded run
+            record-for-record — admission never touches the RNG stream.
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            after every :meth:`run` records the ``serving.queue.depth``
+            gauge (backlog left at the horizon), the
+            ``serving.queue.max_depth`` gauge, and the
+            ``serving.overload.shed`` counter.
     """
 
     def __init__(
@@ -180,11 +205,22 @@ class ServingSimulator:
         faults: "FaultSchedule | None" = None,
         tracer: "Tracer | NullTracer | None" = None,
         profiler: "OpProfiler | None" = None,
+        overload: "OverloadConfig | None" = None,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         if num_instances < 1:
             raise ValueError("need at least one instance")
         if per_instance_qps is not None and per_instance_qps <= 0:
             raise ValueError("per_instance_qps must be positive")
+        if overload is not None and (
+            overload.breaker is not None or overload.brownout is not None
+        ):
+            raise ValueError(
+                "ServingSimulator supports only admission control; circuit "
+                "breakers and brownout live in ResilientRouter"
+            )
+        self.overload = overload
+        self.metrics = metrics
         self.server = server
         self.config = config
         self.batch_size = batch_size
@@ -381,6 +417,67 @@ class ServingSimulator:
         current: list[InferenceRecord | None] = [None] * self.num_instances
         records: list[InferenceRecord] = []
 
+        # Admission control (overload protection). With ``overload=None``
+        # every branch below is skipped and the queues stay unbounded —
+        # admission decisions are pure functions of the queue state and
+        # never touch the RNG stream, so protection-off runs reproduce
+        # the historical simulator record-for-record.
+        admission = self.overload.admission if self.overload is not None else None
+        codels = (
+            [admission.make_codel() for _ in range(self.num_instances)]
+            if admission is not None
+            else None
+        )
+        shed = 0
+        max_queue_depth = 0
+
+        def shed_one(instance: int, now: float, reason: str) -> None:
+            nonlocal shed
+            shed += 1
+            if tracer.enabled:
+                tracer.instant(
+                    "serving.overload.shed", now, track=instance, reason=reason
+                )
+
+        def admit(instance: int, now: float) -> bool:
+            """Apply the admission policy to one arrival that must queue."""
+            assert admission is not None
+            depth = len(queues[instance])
+            if (
+                admission.shed_policy == "deadline_aware"
+                and admission.deadline_s is not None
+            ):
+                # Dead on arrival: the backlog ahead (queue + in-flight)
+                # plus its own service already exceeds the deadline.
+                expected_s = self._base_latency(sum(busy) + 1).total_seconds
+                if (depth + 2) * expected_s > admission.deadline_s:
+                    shed_one(instance, now, SHED_DEADLINE)
+                    return False
+            if depth >= admission.queue_capacity:
+                if admission.shed_policy == "reject_oldest":
+                    # LIFO-drain: evict the head (it has waited longest
+                    # and is closest to its deadline) to admit the new.
+                    queues[instance].pop(0)
+                    shed_one(instance, now, SHED_OLDEST)
+                    return True
+                shed_one(instance, now, SHED_QUEUE_FULL)
+                return False
+            return True
+
+        def next_arrival(instance: int, now: float) -> float | None:
+            """Pop the queue head, letting CoDel shed standing delay."""
+            while queues[instance]:
+                arrival = queues[instance].pop(0)
+                if (
+                    codels is not None
+                    and codels[instance] is not None
+                    and codels[instance].on_dequeue(now - arrival, now)
+                ):
+                    shed_one(instance, now, SHED_CODEL)
+                    continue
+                return arrival
+            return None
+
         def dispatch(instance: int, arrival: float, now: float) -> None:
             nonlocal seq
             active = sum(busy) + 1
@@ -408,7 +505,11 @@ class ServingSimulator:
                 continue
             if kind == 0:  # arrival
                 if busy[instance] or down[instance]:
+                    if admission is not None and not admit(instance, now):
+                        continue
                     queues[instance].append(now)
+                    if len(queues[instance]) > max_queue_depth:
+                        max_queue_depth = len(queues[instance])
                 else:
                     dispatch(instance, now, now)
             elif kind == 1:  # completion
@@ -423,8 +524,8 @@ class ServingSimulator:
                 current[instance] = None
                 if now >= duration_s:
                     continue
-                if queues[instance]:
-                    arrival = queues[instance].pop(0)
+                arrival = next_arrival(instance, now)
+                if arrival is not None:
                     dispatch(instance, arrival, now)
                 elif self.per_instance_qps is None:
                     offered += 1
@@ -455,8 +556,8 @@ class ServingSimulator:
                     tracer.instant("serving.sim.restart", now, track=instance)
                 if now >= duration_s:
                     continue
-                if queues[instance]:
-                    arrival = queues[instance].pop(0)
+                arrival = next_arrival(instance, now)
+                if arrival is not None:
                     dispatch(instance, arrival, now)
                 elif self.per_instance_qps is None and not busy[instance]:
                     offered += 1
@@ -468,6 +569,14 @@ class ServingSimulator:
             downtime_s = sum(
                 faults.downtime_s(i, duration_s) for i in range(self.num_instances)
             )
+        if self.metrics is not None:
+            self.metrics.gauge("serving.queue.depth").set(
+                float(sum(len(q) for q in queues))
+            )
+            self.metrics.gauge("serving.queue.max_depth").set(
+                float(max_queue_depth)
+            )
+            self.metrics.counter("serving.overload.shed").inc(shed)
         return SimulationResult(
             server_name=self.server.name,
             model_name=self.config.name,
@@ -478,6 +587,8 @@ class ServingSimulator:
             offered=offered,
             killed=killed,
             downtime_s=downtime_s,
+            shed=shed,
+            max_queue_depth=max_queue_depth,
         )
 
     # --------------------------------------------------- operator-level view

@@ -23,8 +23,8 @@ class TestRegistry:
     def test_all_experiments_registered(self):
         expected = {
             "figure1", "figure2", "figure4", "figure5", "figure7", "figure8",
-            "figure9", "figure10", "figure11", "figure11x", "figure12",
-            "figure14",
+            "figure9", "figure10", "figure11", "figure11x", "figure11y",
+            "figure12", "figure14",
             "table1", "table2", "table3", "micro", "configspace", "whatif",
         }
         assert set(REGISTRY) == expected

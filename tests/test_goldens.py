@@ -12,6 +12,7 @@ from repro.experiments import (
     fig10_latency_throughput,
     fig11_tail_latency,
     fig11x_faults,
+    fig11y_overload,
     fig14_trace_locality,
 )
 
@@ -128,3 +129,46 @@ def test_fig11x_faults_golden(golden):
         },
     }
     golden("fig11x_faults", payload)
+
+
+def test_fig11y_overload_golden(golden):
+    result = fig11y_overload.run(duration_s=0.25, seed=11)
+    payload = {
+        "server": result.server_name,
+        "model": result.model_name,
+        "capacity_qps": result.capacity_qps,
+        "offered": result.offered,
+        "sla_deadline_s": result.sla_deadline_s,
+        "crowd_multiplier": result.crowd_multiplier,
+        "policies": {
+            name: {
+                "p50_s": outcome.summary.p50,
+                "p99_s": outcome.summary.p99,
+                "completed": outcome.stats.completed,
+                "failed": outcome.stats.failed,
+                "goodput_qps": outcome.stats.goodput_qps,
+                "shed": (
+                    outcome.overload.shed
+                    if outcome.overload is not None
+                    else 0
+                ),
+                "breaker_opens": (
+                    outcome.overload.breaker_opens
+                    if outcome.overload is not None
+                    else 0
+                ),
+                "brownout_switches": (
+                    outcome.overload.brownout_switches
+                    if outcome.overload is not None
+                    else 0
+                ),
+                "max_queue_depth": (
+                    outcome.overload.max_queue_depth
+                    if outcome.overload is not None
+                    else 0
+                ),
+            }
+            for name, outcome in sorted(result.outcomes.items())
+        },
+    }
+    golden("fig11y_overload", payload)

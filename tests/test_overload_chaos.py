@@ -1,0 +1,265 @@
+"""Chaos smoke: random overload + fault sweeps must conserve requests.
+
+Short hypothesis-driven runs of the protected serving stack under
+randomly drawn load, protection policies, and fault schedules. Whatever
+the draw, the books must balance:
+
+* request level — offered = completed + failed + unresolved (router),
+  offered = completed + shed + killed + in-flight (simulator);
+* rate level — goodput <= throughput <= offered rate.
+
+CI runs this as a dedicated "chaos smoke" step; crank the sweep with
+``CHAOS_EXAMPLES=200`` locally when touching the overload layer.
+"""
+
+import os
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import RMC1_SMALL
+from repro.hw import BROADWELL
+from repro.serving import (
+    SLA,
+    AdmissionPolicy,
+    BreakerPolicy,
+    BrownoutPolicy,
+    FaultSchedule,
+    OverloadConfig,
+    ReplicaCrash,
+    ResiliencePolicy,
+    ResilientRouter,
+    ServingSimulator,
+    Straggler,
+    check_conservation,
+    default_brownout_tiers,
+)
+
+NUM_MACHINES = 3
+DURATION_S = 0.05
+SERVICE_S = ResilientRouter(
+    BROADWELL, RMC1_SMALL, 8, NUM_MACHINES, seed=0
+)._base_service_s
+
+CHAOS = settings(
+    max_examples=int(os.environ.get("CHAOS_EXAMPLES", "15")),
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def admission_policies(draw) -> AdmissionPolicy:
+    shed_policy = draw(
+        st.sampled_from(["reject_newest", "reject_oldest", "deadline_aware"])
+    )
+    deadline = st.floats(5.0 * SERVICE_S, 50.0 * SERVICE_S)
+    if shed_policy != "deadline_aware":  # deadline_aware requires a deadline
+        deadline = st.one_of(st.none(), deadline)
+    return AdmissionPolicy(
+        queue_capacity=draw(st.integers(min_value=1, max_value=32)),
+        shed_policy=shed_policy,
+        deadline_s=draw(deadline),
+        codel_target_s=draw(
+            st.one_of(
+                st.none(), st.floats(2.0 * SERVICE_S, 20.0 * SERVICE_S)
+            )
+        ),
+    )
+
+
+def overload_configs() -> st.SearchStrategy[OverloadConfig | None]:
+    admission = admission_policies()
+    breaker = st.builds(
+        BreakerPolicy,
+        failure_threshold=st.integers(min_value=1, max_value=8),
+        window_s=st.floats(10.0 * SERVICE_S, 100.0 * SERVICE_S),
+        open_duration_s=st.floats(10.0 * SERVICE_S, 200.0 * SERVICE_S),
+        half_open_probes=st.integers(min_value=1, max_value=3),
+    )
+    brownout = st.builds(
+        BrownoutPolicy,
+        tiers=st.just(default_brownout_tiers(RMC1_SMALL)),
+        step_up_depth=st.floats(2.0, 10.0),
+        step_down_depth=st.floats(0.5, 1.5),
+        dwell_s=st.floats(0.0, 30.0 * SERVICE_S),
+    )
+    config = st.builds(
+        OverloadConfig,
+        admission=st.one_of(st.none(), admission),
+        breaker=st.one_of(st.none(), breaker),
+        brownout=st.one_of(st.none(), brownout),
+    )
+    return st.one_of(st.none(), config)
+
+
+def fault_schedules() -> st.SearchStrategy[FaultSchedule | None]:
+    crash = st.builds(
+        ReplicaCrash,
+        replica_id=st.integers(0, NUM_MACHINES - 1),
+        at_s=st.floats(0.0, 0.8 * DURATION_S),
+        downtime_s=st.floats(0.05 * DURATION_S, 0.5 * DURATION_S),
+    )
+    straggler = st.builds(
+        Straggler,
+        replica_id=st.integers(0, NUM_MACHINES - 1),
+        start_s=st.floats(0.0, 0.8 * DURATION_S),
+        duration_s=st.floats(0.05 * DURATION_S, 0.5 * DURATION_S),
+        slowdown=st.floats(2.0, 20.0),
+    )
+    schedule = st.builds(
+        FaultSchedule,
+        crashes=st.lists(crash, max_size=2),
+        stragglers=st.lists(straggler, max_size=2),
+    )
+    return st.one_of(st.none(), schedule)
+
+
+class TestRouterChaos:
+    @CHAOS
+    @given(
+        overload=overload_configs(),
+        faults=fault_schedules(),
+        load_factor=st.floats(0.3, 6.0),
+        timeout_factor=st.one_of(st.none(), st.floats(10.0, 60.0)),
+        seed=st.integers(0, 2**16),
+    )
+    def test_conservation_and_rate_ordering(
+        self, overload, faults, load_factor, timeout_factor, seed
+    ):
+        policy = (
+            ResiliencePolicy.none()
+            if timeout_factor is None
+            else ResiliencePolicy(
+                timeout_s=timeout_factor * SERVICE_S,
+                max_retries=1,
+                backoff_base_s=SERVICE_S,
+            )
+        )
+        router = ResilientRouter(
+            BROADWELL,
+            RMC1_SMALL,
+            8,
+            NUM_MACHINES,
+            policy=policy,
+            overload=overload,
+            seed=seed,
+        )
+        result = router.run(
+            offered_qps=load_factor * NUM_MACHINES / SERVICE_S,
+            duration_s=DURATION_S,
+            faults=faults,
+            sla=SLA(deadline_s=25.0 * SERVICE_S),
+        )
+        # Request conservation: every offered request is accounted for.
+        assert result.unresolved >= 0
+        assert result.offered == (
+            result.completed + result.failed + result.unresolved
+        )
+        stats = result.stats()
+        assert stats.completed == len(result.latencies_s)
+        # Rate ordering: goodput <= throughput <= offered rate.
+        offered_qps = result.offered / DURATION_S
+        assert 0.0 <= stats.goodput_qps <= stats.throughput_qps
+        assert stats.throughput_qps <= offered_qps + 1e-9
+        # Overload books balance against the request-level tallies.
+        if result.overload is not None:
+            ovl = result.overload
+            assert ovl.offered >= result.offered  # retries re-offer
+            # Door-time outcomes partition the offered attempts; evictions
+            # (reject_oldest) and CoDel drops shed *admitted* work, so
+            # they sit on the other side of the ledger.
+            door_shed = ovl.shed_by_reason.get(
+                "queue_full", 0
+            ) + ovl.shed_by_reason.get("deadline_hopeless", 0)
+            post_admit_shed = ovl.shed_by_reason.get(
+                "oldest_dropped", 0
+            ) + ovl.shed_by_reason.get("codel_sojourn", 0)
+            assert ovl.admitted + door_shed + ovl.breaker_rejections == (
+                ovl.offered
+            )
+            assert post_admit_shed <= ovl.admitted
+            assert ovl.shed == sum(ovl.shed_by_reason.values())
+            if ovl.completions_by_tier:  # tracked only under brownout
+                assert sum(ovl.completions_by_tier) == result.completed
+            if ovl.time_in_tier_s:
+                assert sum(ovl.time_in_tier_s) <= DURATION_S * 1.001
+
+    @CHAOS
+    @given(
+        overload=overload_configs(),
+        faults=fault_schedules(),
+        load_factor=st.floats(0.3, 6.0),
+        seed=st.integers(0, 2**16),
+    )
+    def test_runs_are_deterministic(
+        self, overload, faults, load_factor, seed
+    ):
+        def once():
+            return ResilientRouter(
+                BROADWELL,
+                RMC1_SMALL,
+                8,
+                NUM_MACHINES,
+                overload=overload,
+                seed=seed,
+            ).run(
+                offered_qps=load_factor * NUM_MACHINES / SERVICE_S,
+                duration_s=DURATION_S,
+                faults=faults,
+                sla=SLA(deadline_s=25.0 * SERVICE_S),
+            )
+
+        a, b = once(), once()
+        assert a.offered == b.offered
+        assert a.completed == b.completed
+        assert list(a.latencies_s) == list(b.latencies_s)
+
+
+class TestSimulatorChaos:
+    @CHAOS
+    @given(
+        capacity=st.one_of(st.none(), st.integers(1, 32)),
+        shed_policy=st.sampled_from(
+            ["reject_newest", "reject_oldest", "deadline_aware"]
+        ),
+        load_factor=st.floats(0.3, 5.0),
+        faults=fault_schedules(),
+        seed=st.integers(0, 2**16),
+    )
+    def test_conservation(
+        self, capacity, shed_policy, load_factor, faults, seed
+    ):
+        overload = (
+            None
+            if capacity is None
+            else OverloadConfig(
+                admission=AdmissionPolicy(
+                    queue_capacity=capacity,
+                    shed_policy=shed_policy,
+                    deadline_s=25.0 * SERVICE_S,
+                )
+            )
+        )
+        sim = ServingSimulator(
+            BROADWELL,
+            RMC1_SMALL,
+            batch_size=8,
+            num_instances=NUM_MACHINES,
+            per_instance_qps=load_factor / SERVICE_S,
+            seed=seed,
+            overload=overload,
+            faults=faults,
+        )
+        result = sim.run(duration_s=DURATION_S)
+        in_flight = check_conservation(
+            result.offered,
+            len(result.records),
+            shed=result.shed,
+            killed=result.killed,
+        )
+        assert in_flight >= 0
+        if capacity is not None:
+            assert result.max_queue_depth <= capacity
+        else:
+            assert result.shed == 0

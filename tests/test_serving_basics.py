@@ -145,3 +145,40 @@ class TestBatcher:
         batcher.offer(self.q(0, 0.5))
         batch = batcher.offer(self.q(1, 0.7))
         assert batch.oldest_arrival_s == 0.5
+
+    def test_poll_at_exact_max_wait_dispatches(self):
+        """The timeout bound is inclusive: wait == max_wait_s fires."""
+        batcher = Batcher(max_items=100, max_wait_s=0.005)
+        batcher.offer(self.q(0, 0.0))
+        batch = batcher.poll(0.005)
+        assert batch is not None
+        assert batch.formed_at_s == 0.005
+        assert batcher.poll(0.005) is None  # queue drained by dispatch
+
+    def test_empty_flush_returns_none(self):
+        batcher = Batcher(max_items=4, max_wait_s=0.001)
+        assert batcher.flush(0.0) is None
+        assert batcher.poll(10.0) is None
+        assert batcher.pending_items == 0
+
+    def test_single_request_batch_under_backpressure(self):
+        """A capacity-1 batcher still forms batches, one query at a time."""
+        batcher = Batcher(max_items=8, max_wait_s=10, max_pending_items=1)
+        assert not batcher.at_capacity
+        assert batcher.offer(self.q(0, 0.0)) is None
+        assert batcher.at_capacity
+        with pytest.raises(ValueError):
+            batcher.offer(self.q(1, 0.001))
+        batch = batcher.flush(0.002)
+        assert batch.num_items == 1
+        assert not batcher.at_capacity  # dispatch releases the bound
+        assert batcher.offer(self.q(2, 0.003)) is None
+
+    def test_multi_item_query_consumes_capacity(self):
+        batcher = Batcher(max_items=16, max_wait_s=10, max_pending_items=4)
+        batcher.offer(self.q(0, 0.0, items=4))
+        assert batcher.at_capacity
+
+    def test_rejects_bad_pending_bound(self):
+        with pytest.raises(ValueError):
+            Batcher(max_items=4, max_pending_items=0)
