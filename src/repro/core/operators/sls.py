@@ -226,3 +226,28 @@ class SparseLengthsSum(Operator):
         row_bytes = self.table.dim * _FP32
         for row in rows:
             yield MemoryAccess(address=int(row) * row_bytes, size=row_bytes)
+
+    def line_trace_for_rows(
+        self, rows: np.ndarray, line_bytes: int = 64
+    ) -> np.ndarray:
+        """Cache-line indices touched by a lookup trace, as one int64 array.
+
+        Array counterpart of :meth:`trace_for_rows` for the vectorized
+        replay engine (``CacheHierarchy.access_lines``): the concatenation
+        of every row read's spanned lines, in trace order, with no
+        per-lookup object churn. Bit-identical to expanding the
+        :class:`MemoryAccess` stream through ``lines_spanned``.
+        """
+        if line_bytes <= 0:
+            raise ValueError("line_bytes must be positive")
+        rows = np.asarray(rows, dtype=np.int64).reshape(-1)
+        row_bytes = self.table.dim * _FP32
+        addresses = rows * row_bytes
+        first = addresses // line_bytes
+        last = (addresses + row_bytes - 1) // line_bytes
+        counts = last - first + 1
+        if counts.size == 0:
+            return np.empty(0, dtype=np.int64)
+        total = int(counts.sum())
+        bases = np.repeat(np.cumsum(counts) - counts, counts)
+        return np.repeat(first, counts) + np.arange(total, dtype=np.int64) - bases

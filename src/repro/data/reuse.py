@@ -8,8 +8,20 @@ ratio of *every* cache size simultaneously (the miss-ratio curve), which
 is how capacity decisions for embedding caches / DRAM tiers should be
 made rather than replaying per size.
 
-The implementation uses a Fenwick (binary indexed) tree over reference
-timestamps: O(N log N) for an N-lookup trace.
+Two implementations of the same exact computation:
+
+* ``method="fenwick"`` — a Fenwick (binary indexed) tree over reference
+  timestamps, O(N log N) but pure Python per lookup. Kept as the
+  executable specification and used for tiny traces.
+* ``method="sorting"`` — a fully vectorized O(N log² N) pass: previous
+  occurrences via a stable argsort, then the left-neighbour dominance
+  count (``#{j<k : sprev[j] <= sprev[k]}``) by bottom-up merge counting,
+  where each doubling pass is a single ``np.searchsorted`` over all block
+  pairs at once (block-offset keys keep queries inside their pair). This
+  is what makes reuse profiling practical on million-lookup traces.
+
+Both return identical integer arrays; ``method="auto"`` (the default)
+picks by trace size.
 """
 
 from __future__ import annotations
@@ -42,15 +54,33 @@ class _Fenwick:
         return total
 
 
-def stack_distances(ids: np.ndarray) -> np.ndarray:
+#: Below this trace length ``method="auto"`` keeps the Fenwick walk —
+#: the vectorized path's argsort setup only pays off on longer traces.
+_SORTING_MIN_LOOKUPS = 256
+
+
+def stack_distances(ids: np.ndarray, method: str = "auto") -> np.ndarray:
     """Per-reference LRU stack distances; first touches get -1.
 
     ``distances[k]`` is the number of *distinct* IDs referenced strictly
     between reference ``k`` and the previous reference to the same ID.
+    ``method`` selects the implementation (``"auto"``, ``"sorting"``,
+    ``"fenwick"``); all produce identical arrays.
     """
     ids = np.asarray(ids).reshape(-1)
     if ids.size == 0:
         raise ValueError("trace must contain at least one lookup")
+    if method not in ("auto", "sorting", "fenwick"):
+        raise ValueError(f"unknown method {method!r}")
+    if method == "fenwick" or (
+        method == "auto" and ids.size < _SORTING_MIN_LOOKUPS
+    ):
+        return _stack_distances_fenwick(ids)
+    return _stack_distances_sorting(ids)
+
+
+def _stack_distances_fenwick(ids: np.ndarray) -> np.ndarray:
+    """Reference implementation: live-marker counting on a Fenwick tree."""
     n = int(ids.size)
     tree = _Fenwick(n)
     last_pos: dict[int, int] = {}
@@ -67,6 +97,57 @@ def stack_distances(ids: np.ndarray) -> np.ndarray:
         tree.add(k, +1)
         last_pos[key] = k
     return out
+
+
+def _stack_distances_sorting(ids: np.ndarray) -> np.ndarray:
+    """Vectorized implementation: argsort + bottom-up merge counting.
+
+    With ``sprev[k]`` the previous occurrence of ``ids[k]`` (-1 for first
+    touches), every j <= sprev[k] trivially has ``sprev[j] < j <= sprev[k]``,
+    and the j in (sprev[k], k) with ``sprev[j] <= sprev[k]`` are exactly the
+    first in-window occurrences of the window's distinct IDs, so::
+
+        distances[k] = #{j < k : sprev[j] <= sprev[k]} - sprev[k] - 1
+
+    The dominance count is a classic merge-count: each doubling pass
+    counts, for every element of a right half-block, the left-half
+    elements <= it. Adding ``pair_index * span`` (span exceeding the value
+    range) to the keys makes the concatenation of all sorted left halves
+    globally sorted, so every pass is one ``np.searchsorted`` call.
+    """
+    n = int(ids.size)
+    order = np.argsort(ids, kind="stable")
+    sorted_ids = ids[order]
+    sprev = np.full(n, -1, dtype=np.int64)
+    same = sorted_ids[1:] == sorted_ids[:-1]
+    sprev[order[1:][same]] = order[:-1][same]
+
+    vals = sprev + 1  # shift into [0, n); ties only among first touches
+    pad_value = n + 1  # sorts after (and never counts <=) every real value
+    span = n + 3  # > pad_value, so block keys never bleed across pairs
+    m = 1 << max(1, (n - 1).bit_length())
+    arr = np.full(m, pad_value, dtype=np.int64)
+    arr[:n] = vals
+    pos = np.arange(m, dtype=np.int64)
+    counts = np.zeros(m, dtype=np.int64)
+    slots = np.arange(m, dtype=np.int64)
+    width = 1
+    while width < m:
+        pair = slots // (2 * width)
+        left_sel = (slots // width) % 2 == 0
+        left_keys = arr[left_sel] + pair[left_sel] * span
+        right_pair = pair[~left_sel]
+        right_keys = arr[~left_sel] + right_pair * span
+        # Global searchsorted = per-pair rank + width per earlier pair.
+        ranks = np.searchsorted(left_keys, right_keys, side="right")
+        counts[pos[~left_sel]] += ranks - right_pair * width
+        merge_key = pair * span + arr
+        merged = np.argsort(merge_key, kind="stable")
+        arr = arr[merged]
+        pos = pos[merged]
+        width *= 2
+    rank_before = counts[:n]
+    return np.where(sprev >= 0, rank_before - sprev - 1, -1)
 
 
 @dataclass(frozen=True)
@@ -109,9 +190,9 @@ class ReuseProfile:
         return int(indices[0]) + 1
 
 
-def reuse_profile(ids: np.ndarray) -> ReuseProfile:
+def reuse_profile(ids: np.ndarray, method: str = "auto") -> ReuseProfile:
     """Build the reuse profile of a trace in one pass."""
-    distances = stack_distances(ids)
+    distances = stack_distances(ids, method=method)
     compulsory = int((distances < 0).sum())
     finite = distances[distances >= 0]
     max_distance = int(finite.max()) if finite.size else 0

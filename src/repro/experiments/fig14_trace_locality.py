@@ -17,6 +17,7 @@ from ..analysis.tables import format_table
 from ..core.operators import EmbeddingTable, SparseLengthsSum
 from ..data.traces import EmbeddingTrace, random_trace, synthetic_production_traces
 from ..hw.server import BROADWELL, ServerSpec
+from ..obs.tracer import Tracer
 
 
 @dataclass(frozen=True)
@@ -44,8 +45,15 @@ def run(
     table_rows: int = 1_000_000,
     trace_length: int = 30_000,
     seed: int = 2020,
+    engine: str = "vectorized",
+    tracer: Tracer | None = None,
 ) -> Figure14Result:
-    """Generate the trace suite and measure locality + cache behaviour."""
+    """Generate the trace suite and measure locality + cache behaviour.
+
+    With a ``tracer``, each trace's replay is recorded as ``hw.replay.*``
+    spans on its own track, so ``python -m repro trace figure14`` renders
+    the per-trace cache-level waterfall. Tracing off is bit-identical.
+    """
     traces: list[EmbeddingTrace] = [random_trace(table_rows, trace_length)]
     traces.extend(
         synthetic_production_traces(table_rows, trace_length, seed=seed)
@@ -53,8 +61,12 @@ def run(
     table = EmbeddingTable(table_rows, 32)
     sls = SparseLengthsSum("sls", table, lookups_per_sample=80)
     rows = []
-    for trace in traces:
-        mpki = measure_sls_trace_mpki(sls, server, trace.ids)
+    for track, trace in enumerate(traces):
+        if tracer is not None:
+            tracer.set_track_name(track, trace.name)
+        mpki = measure_sls_trace_mpki(
+            sls, server, trace.ids, engine=engine, tracer=tracer, track=track
+        )
         rows.append(
             TraceLocalityRow(
                 name=trace.name,

@@ -10,16 +10,41 @@ L2/L3 is non-inclusive (L3 acts as a victim cache), so LLC churn does not
 reach into L2.
 
 :class:`CacheHierarchy` simulates an L1/L2/L3 stack with either policy and
-returns per-level hit counts for an address trace.
+returns per-level hit counts for an address trace. Two engines implement
+the same semantics:
+
+* ``engine="reference"`` — one OrderedDict per set, one Python call per
+  line. Slow, obvious, and the executable specification.
+* ``engine="vectorized"`` — structure-of-arrays numpy state
+  (:mod:`repro.hw.vectorized`) driven by a batch kernel: a self-compiled
+  C kernel (:mod:`repro.hw._native`) when a compiler is available, else a
+  pure-Python batch loop. Bit-identical stats to the reference across
+  both inclusion policies, prefetching, and external-pressure paths —
+  enforced by ``tests/test_engine_equivalence.py`` — at one-to-two orders
+  of magnitude lower cost, which is what makes million-lookup
+  paper-scale traces tractable (see ``docs/PERFORMANCE.md``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..core.operators.base import MemoryAccess
+from ._native import load_kernel
 from .cache import SetAssociativeCache
 from .server import ServerSpec
+from .vectorized import (
+    VectorizedSetAssociativeCache,
+    expand_spans,
+    python_pressure,
+    python_replay,
+)
+
+# Accesses buffered per batch when draining a MemoryAccess iterable
+# through the vectorized engine.
+_TRACE_CHUNK = 65536
 
 
 @dataclass
@@ -73,6 +98,16 @@ class CacheHierarchy:
             streaming operators (FC weight reads); barely helps — and can
             pollute — under SLS's irregular row gathers, the effect the
             paper notes as "prefetching pollution". 0 disables.
+        engine: ``"reference"`` (per-line OrderedDict walk, the executable
+            spec) or ``"vectorized"`` (SoA numpy state + batch kernel,
+            bit-identical stats, built for million-lookup traces — feed it
+            through :meth:`access_lines` for full speed).
+        backend: batch-kernel selection for the vectorized engine:
+            ``"auto"`` uses the self-compiled C kernel when a compiler is
+            available and falls back to the pure-Python batch loop,
+            ``"native"`` requires the C kernel (raises if unavailable),
+            ``"python"`` forces the fallback. Ignored by the reference
+            engine.
     """
 
     def __init__(
@@ -81,35 +116,135 @@ class CacheHierarchy:
         l3_share: float = 1.0,
         line_bytes: int = 64,
         prefetch_degree: int = 0,
+        engine: str = "reference",
+        backend: str = "auto",
     ) -> None:
         if not 0.0 < l3_share <= 1.0:
             raise ValueError("l3_share must be in (0, 1]")
         if prefetch_degree < 0:
             raise ValueError("prefetch_degree must be non-negative")
+        if engine not in ("reference", "vectorized"):
+            raise ValueError(f"unknown engine {engine!r}")
+        if backend not in ("auto", "native", "python"):
+            raise ValueError(f"unknown backend {backend!r}")
         self.server = server
         self.inclusive = server.inclusive_llc
         self.prefetch_degree = prefetch_degree
+        self.engine = engine
+        self.line_bytes = line_bytes
         self._prefetched_lines: set[int] = set()
-        self.l1 = SetAssociativeCache("L1", server.l1_bytes, 8, line_bytes)
-        self.l2 = SetAssociativeCache("L2", server.l2_bytes, 8, line_bytes)
+        cache_cls = (
+            SetAssociativeCache
+            if engine == "reference"
+            else VectorizedSetAssociativeCache
+        )
+        self.l1 = cache_cls("L1", server.l1_bytes, 8, line_bytes)
+        self.l2 = cache_cls("L2", server.l2_bytes, 8, line_bytes)
         l3_bytes = int(server.l3_bytes * l3_share)
         # Keep the L3 well-formed at tiny shares.
         l3_bytes = max(l3_bytes - l3_bytes % (16 * line_bytes), 16 * line_bytes)
-        self.l3 = SetAssociativeCache("L3", l3_bytes, 16, line_bytes)
+        self.l3 = cache_cls("L3", l3_bytes, 16, line_bytes)
         self.stats = HierarchyStats()
+        self._kernel = None
+        if engine == "vectorized":
+            if backend in ("auto", "native"):
+                self._kernel = load_kernel()
+            if backend == "native" and self._kernel is None:
+                raise RuntimeError(
+                    "backend='native' requested but the C kernel is "
+                    "unavailable (no compiler, or REPRO_DISABLE_NATIVE=1)"
+                )
+            self._batch_counters = np.zeros(7, dtype=np.int64)
+        self.backend = "native" if self._kernel is not None else "python"
 
     # ------------------------------------------------------------- accesses
 
     def access(self, access: MemoryAccess) -> None:
         """Simulate one logical access (all lines it spans)."""
-        for line in self.l1.lines_spanned(access.address, access.size):
-            self._access_line(line)
+        if self.engine == "reference":
+            for line in self.l1.lines_spanned(access.address, access.size):
+                self._access_line(line)
+            return
+        span = self.l1.lines_spanned(access.address, access.size)
+        self.access_lines(
+            np.arange(span.start, span.stop, dtype=np.int64)
+        )
+
+    def access_lines(self, lines: np.ndarray) -> None:
+        """Batch-replay an int64 array of line indices, in trace order.
+
+        The fast path of the vectorized engine: one kernel call per batch
+        instead of one Python call per line. Available on the reference
+        engine too (a per-line loop) so callers and the equivalence suite
+        can drive both engines through the same entry point.
+        """
+        if self.engine == "reference":
+            for line in np.asarray(lines, dtype=np.int64).reshape(-1).tolist():
+                self._access_line(line)
+            return
+        counters = self._batch_counters
+        counters[:] = 0
+        if self._kernel is not None:
+            self._kernel.replay(
+                lines,
+                self.l1,
+                self.l2,
+                self.l3,
+                self.inclusive,
+                self.prefetch_degree,
+                counters,
+            )
+        else:
+            python_replay(
+                lines,
+                self.l1,
+                self.l2,
+                self.l3,
+                self.inclusive,
+                self.prefetch_degree,
+                counters,
+            )
+        self._drain_batch_counters()
+
+    def _drain_batch_counters(self) -> None:
+        counters = self._batch_counters
+        stats = self.stats
+        stats.l1_hits += int(counters[0])
+        stats.l2_hits += int(counters[1])
+        stats.l3_hits += int(counters[2])
+        stats.dram_accesses += int(counters[3])
+        stats.l2_back_invalidations += int(counters[4])
+        stats.prefetches_issued += int(counters[5])
+        stats.prefetch_hits += int(counters[6])
 
     def access_trace(self, trace) -> HierarchyStats:
         """Simulate an iterable of :class:`MemoryAccess`; returns stats."""
+        if self.engine == "reference":
+            for item in trace:
+                self.access(item)
+            return self.stats
+        addresses: list[int] = []
+        sizes: list[int] = []
         for item in trace:
-            self.access(item)
+            addresses.append(item.address)
+            sizes.append(item.size)
+            if len(addresses) >= _TRACE_CHUNK:
+                self._flush_trace_chunk(addresses, sizes)
+        if addresses:
+            self._flush_trace_chunk(addresses, sizes)
         return self.stats
+
+    def _flush_trace_chunk(
+        self, addresses: list[int], sizes: list[int]
+    ) -> None:
+        lines = expand_spans(
+            np.array(addresses, dtype=np.int64),
+            np.array(sizes, dtype=np.int64),
+            self.line_bytes,
+        )
+        addresses.clear()
+        sizes.clear()
+        self.access_lines(lines)
 
     def _access_line(self, line: int) -> None:
         if line in self._prefetched_lines:
@@ -169,9 +304,19 @@ class CacheHierarchy:
             if self.l2.invalidate(victim):
                 self.stats.l2_back_invalidations += 1
             self.l1.invalidate(victim)
+            # The victim is resident nowhere now, so a pending prefetch
+            # flag dies with it — without this, the bookkeeping set grows
+            # unboundedly on pollution-heavy traces and a long-evicted
+            # line still counts as a prefetch hit on its eventual demand.
+            self._prefetched_lines.discard(victim)
 
     def _insert_l3_victim(self, line: int) -> None:
-        self.l3.insert(line)
+        victim = self.l3.insert(line)
+        if victim is not None and not self.l2.probe(victim):
+            # Same leak fix as the inclusive path. A line prefetched while
+            # already L3-resident lives in both L2 and L3, so only drop
+            # the pending flag when its last copy is gone.
+            self._prefetched_lines.discard(victim)
 
     # ------------------------------------------------------------ utilities
 
@@ -184,12 +329,38 @@ class CacheHierarchy:
         Foreign lines use negative line indices so they never alias the
         workload's own lines.
         """
-        for i in range(evict_lines):
-            foreign = -(1 + i * seed_stride)
-            if self.inclusive:
-                self._insert_l3_inclusive(foreign)
-            else:
-                self._insert_l3_victim(foreign)
+        if self.engine == "reference":
+            for i in range(evict_lines):
+                foreign = -(1 + i * seed_stride)
+                if self.inclusive:
+                    self._insert_l3_inclusive(foreign)
+                else:
+                    self._insert_l3_victim(foreign)
+            return
+        counters = self._batch_counters
+        counters[:] = 0
+        if self._kernel is not None:
+            self._kernel.pressure(
+                evict_lines,
+                seed_stride,
+                self.l1,
+                self.l2,
+                self.l3,
+                self.inclusive,
+                self.prefetch_degree,
+                counters,
+            )
+        else:
+            python_pressure(
+                evict_lines,
+                seed_stride,
+                self.l1,
+                self.l2,
+                self.l3,
+                self.inclusive,
+                counters,
+            )
+        self._drain_batch_counters()
 
     def reset_stats(self) -> HierarchyStats:
         """Return accumulated stats and start fresh (contents kept)."""

@@ -32,6 +32,32 @@ class TestStackDistances:
         with pytest.raises(ValueError):
             stack_distances(np.array([], dtype=np.int64))
 
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError):
+            stack_distances(np.array([1]), method="magic")
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        ids=st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=200)
+    )
+    def test_property_sorting_matches_fenwick(self, ids):
+        """The vectorized merge-count path is exactly the Fenwick walk."""
+        trace = np.asarray(ids, dtype=np.int64)
+        fenwick = stack_distances(trace, method="fenwick")
+        sorting = stack_distances(trace, method="sorting")
+        assert fenwick.tolist() == sorting.tolist()
+
+    @pytest.mark.parametrize("skew", [False, True])
+    def test_sorting_matches_fenwick_long_traces(self, skew):
+        rng = np.random.default_rng(9)
+        if skew:
+            ids = (rng.zipf(1.3, size=5000) - 1) % 10_000
+        else:
+            ids = rng.integers(0, 400, size=5000)
+        fenwick = stack_distances(ids, method="fenwick")
+        sorting = stack_distances(ids, method="sorting")
+        assert fenwick.tolist() == sorting.tolist()
+
 
 class TestReuseProfile:
     def test_compulsory_fraction_is_unique_fraction(self):
