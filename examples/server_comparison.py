@@ -21,9 +21,9 @@ def max_batch_under_sla(server, config, sla: SLA) -> tuple[int, float] | None:
     timing = TimingModel(server)
     best = None
     for batch in BATCHES:
-        latency = timing.model_latency(config, batch).total_seconds
-        if latency <= sla.deadline_s:
-            best = (batch, batch / latency)
+        latency_s = timing.model_latency(config, batch).total_seconds
+        if latency_s <= sla.deadline_s:
+            best = (batch, batch / latency_s)
     return best
 
 

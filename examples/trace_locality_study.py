@@ -34,7 +34,7 @@ def main() -> None:
         # A cache/prefetcher that captures the trace's reuse turns repeated
         # IDs into LLC hits; feed that into the latency model.
         locality = 1.0 - unique
-        latency = timing.model_latency(
+        latency_s = timing.model_latency(
             RMC2_SMALL, 16, locality_hit_ratio=locality
         ).total_seconds
         rows.append(
@@ -42,16 +42,16 @@ def main() -> None:
                 trace.name,
                 f"{100 * unique:.1f}",
                 f"{mpki:.2f}",
-                f"{latency * 1e3:.2f}",
+                f"{latency_s * 1e3:.2f}",
             ]
         )
-    baseline = timing.model_latency(RMC2_SMALL, 16).total_seconds
+    baseline_s = timing.model_latency(RMC2_SMALL, 16).total_seconds
     print(format_table(
         ["trace", "unique IDs %", "LLC MPKI", "RMC2 latency ms (locality-aware)"],
         rows,
         title="Figure 14: trace locality and the caching opportunity",
     ))
-    print(f"\nbaseline RMC2 latency (no locality exploited): {baseline * 1e3:.2f} ms")
+    print(f"\nbaseline RMC2 latency (no locality exploited): {baseline_s * 1e3:.2f} ms")
     print("traces with few unique IDs cut SLS DRAM traffic — the paper's "
           "motivation for intelligent caching and prefetching.")
 

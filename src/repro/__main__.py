@@ -22,7 +22,6 @@ from __future__ import annotations
 import argparse
 import inspect
 import sys
-import time
 
 from .experiments import REGISTRY
 
@@ -64,10 +63,13 @@ def _run_one(exp_id: str, json_path: str | None = None) -> None:
     if json_path is not None and "metrics" in _run_kwargs(module):
         registry = MetricsRegistry()
         kwargs["metrics"] = registry
-    start = time.perf_counter()
+    # Deliberately no wall-clock timing here (SC904): every latency this
+    # CLI prints is *simulated*; real execution time is the business of
+    # benchmarks/bench_execution_wallclock.py, and a cosmetic elapsed
+    # display was the one host-dependent output in an otherwise
+    # deterministic pipeline.
     result = module.run(**kwargs)
-    elapsed_s = time.perf_counter() - start
-    print(f"\n### {exp_id} ({elapsed_s:.1f}s)\n")
+    print(f"\n### {exp_id}\n")
     print(module.render(result))
     if json_path is not None:
         snapshot = registry.snapshot() if registry is not None else None

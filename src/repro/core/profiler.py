@@ -81,9 +81,13 @@ class Profiler:
 
     def run(self, operator, batch_size: int, *inputs):
         """Execute ``operator`` on ``inputs`` and record timing + cost."""
-        start = time.perf_counter()
+        # This is the repo's one sanctioned wall-clock measurement point
+        # outside benchmarks/: the Figure-7 "measured" operator breakdown
+        # is *defined* as real numpy execution time, so reading the host
+        # clock here is the feature, not a leak.
+        start = time.perf_counter()  # staticcheck: ignore[SC904]
         result = operator.forward(*inputs)
-        elapsed_s = time.perf_counter() - start
+        elapsed_s = time.perf_counter() - start  # staticcheck: ignore[SC904]
         self.profile.records.append(
             OperatorRecord(
                 name=operator.name,

@@ -1,4 +1,4 @@
-"""CLI: ``python -m repro.tools.staticcheck src/ tests/ benchmarks/``.
+"""CLI: ``python -m repro.tools.staticcheck src/ tests/ benchmarks/ examples/``.
 
 Exit codes: 0 clean, 1 violations found, 2 bad invocation/baseline.
 """
@@ -7,6 +7,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from collections import Counter
 from pathlib import Path
 from typing import Sequence
@@ -18,10 +19,14 @@ from .baseline import (
     load_baseline,
     save_baseline,
 )
+from .dataflow import SummaryCache
 from .engine import load_project, run_checks
 from .graphs import validate_presets
-from .reporters import CheckReport, render_json, render_text
+from .reporters import CheckReport, RunStats, render_json, render_text
 from .rules import ALL_RULES, select_rules
+
+#: Persistent dataflow-summary cache, relative to ``--root`` (gitignored).
+CACHE_RELPATH = ".staticcheck-cache/summaries.json"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -30,7 +35,24 @@ def build_parser() -> argparse.ArgumentParser:
         description="AST-based invariant checker for the repro codebase.",
     )
     parser.add_argument("paths", nargs="*", default=["src"], help="files/dirs to check")
-    parser.add_argument("--json", action="store_true", help="emit a JSON report")
+    parser.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="emit a JSON report to stdout, or to PATH (text still on stdout)",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="report per-phase timing, cache hit rate and per-rule counts",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent dataflow summary cache",
+    )
     parser.add_argument(
         "--baseline",
         type=Path,
@@ -103,7 +125,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 2
 
     rules = select_rules(args.select, args.ignore)
+
+    t0 = time.perf_counter()
     project = load_project(args.paths, root=args.root)
+    parse_seconds = time.perf_counter() - t0
+
+    cache = None
+    if not args.no_cache:
+        cache = SummaryCache((args.root or Path.cwd()) / CACHE_RELPATH)
+        project.analysis_cache = cache
+    # Force the whole-program analysis up front so its phase timings are
+    # attributable (rules would otherwise trigger it lazily mid-check).
+    analysis = project.analysis()
+
+    t0 = time.perf_counter()
     violations = run_checks(project, rules)
 
     run_graphs = not args.no_graphs and (
@@ -112,6 +147,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.ignore and ("SC701" in args.ignore or "preset-graphs" in args.ignore):
         run_graphs = False
     graph_problems = validate_presets() if run_graphs else []
+    rules_seconds = time.perf_counter() - t0
+
+    if cache is not None:
+        cache.save()
 
     baseline_path = args.baseline
     if baseline_path is None and not args.no_baseline:
@@ -141,7 +180,35 @@ def main(argv: Sequence[str] | None = None) -> int:
         suppressed_by_baseline=suppressed,
         graph_problems=graph_problems,
     )
-    print(render_json(report) if args.json else render_text(report))
+    if args.stats:
+        rule_counts = {rule.id: 0 for rule in rules}
+        if project.parse_errors:
+            rule_counts.setdefault("SC001", 0)
+        if run_graphs:
+            rule_counts.setdefault("SC701", 0)
+        rule_counts.update(Counter(v.rule for v in violations))
+        if graph_problems:
+            rule_counts["SC701"] = len(graph_problems)
+        report.stats = RunStats(
+            files=report.checked_files,
+            parse_seconds=parse_seconds,
+            index_seconds=analysis.index_seconds,
+            dataflow_seconds=analysis.dataflow_seconds,
+            rules_seconds=rules_seconds,
+            cache_hits=analysis.cache_hits,
+            cache_misses=analysis.cache_misses,
+            rule_counts=rule_counts,
+        )
+
+    if args.json == "-":
+        print(render_json(report))
+    elif args.json is not None:
+        json_path = Path(args.json)
+        json_path.parent.mkdir(parents=True, exist_ok=True)
+        json_path.write_text(render_json(report) + "\n", encoding="utf-8")
+        print(render_text(report))
+    else:
+        print(render_text(report))
     return report.exit_code
 
 

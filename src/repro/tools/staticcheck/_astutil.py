@@ -66,3 +66,28 @@ def walk_functions(tree: ast.AST) -> Iterator[ast.FunctionDef | ast.AsyncFunctio
 
 def is_constant_none(node: ast.AST) -> bool:
     return isinstance(node, ast.Constant) and node.value is None
+
+
+#: Unit vocabulary shared by SC201 (per-file) and SC901 (interprocedural).
+TIME_UNITS = {"ns", "us", "ms", "s", "sec", "seconds"}
+SIZE_UNITS = {"bytes", "kb", "mb", "gb", "tb", "kib", "mib", "gib"}
+UNIT_SUFFIXES = TIME_UNITS | SIZE_UNITS
+
+#: Spelling variants of the same unit (``elapsed_seconds`` == ``elapsed_s``).
+_UNIT_ALIASES = {"sec": "s", "seconds": "s"}
+
+
+def unit_of_name(name: str) -> str | None:
+    """Canonical unit suffix carried by an identifier, or ``None``.
+
+    Rates (``bytes_per_s``, ``per_s``) are not unit-suffixed quantities,
+    and alias spellings collapse (``_seconds``/``_sec`` → ``s``) so the
+    same physical unit never reads as a mix.
+    """
+    lowered = name.lower()
+    if "_per_" in lowered or lowered.startswith("per_"):
+        return None
+    suffix = lowered.rsplit("_", 1)[-1] if "_" in lowered else None
+    if suffix in UNIT_SUFFIXES:
+        return _UNIT_ALIASES.get(suffix, suffix)
+    return None

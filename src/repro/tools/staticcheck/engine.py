@@ -105,6 +105,19 @@ class Project:
     root: Path
     modules: list[ModuleInfo] = field(default_factory=list)
     parse_errors: list[Violation] = field(default_factory=list)
+    #: Optional persistent summary cache (set by the CLI before running
+    #: rules); ``analysis()`` records hits/misses on it.
+    analysis_cache: "object | None" = None
+    _analysis: "object | None" = None
+
+    def analysis(self):
+        """Whole-program analysis (index + dataflow summaries), built
+        lazily on first use and shared by every SC9xx rule."""
+        if self._analysis is None:
+            from .dataflow import analyze_project  # local: keep engine light
+
+            self._analysis = analyze_project(self, cache=self.analysis_cache)
+        return self._analysis
 
     def src_modules(self) -> list[ModuleInfo]:
         """Modules under ``src/`` (library code, not tests/benchmarks)."""

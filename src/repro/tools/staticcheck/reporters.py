@@ -13,6 +13,72 @@ REPORT_SCHEMA_VERSION = 1
 
 
 @dataclass
+class RunStats:
+    """Per-phase timing and cache observability for one invocation.
+
+    Collected by the CLI under ``--stats`` so analyzer-runtime regressions
+    and cache effectiveness are visible in CI logs.
+    """
+
+    files: int = 0
+    parse_seconds: float = 0.0
+    index_seconds: float = 0.0
+    dataflow_seconds: float = 0.0
+    rules_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Violation count per rule id for every rule that ran (zeros kept).
+    rule_counts: dict = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.parse_seconds
+            + self.index_seconds
+            + self.dataflow_seconds
+            + self.rules_seconds
+        )
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def to_jsonable(self) -> dict:
+        return {
+            "files": self.files,
+            "parse_seconds": round(self.parse_seconds, 4),
+            "index_seconds": round(self.index_seconds, 4),
+            "dataflow_seconds": round(self.dataflow_seconds, 4),
+            "rules_seconds": round(self.rules_seconds, 4),
+            "total_seconds": round(self.total_seconds, 4),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "rule_counts": dict(sorted(self.rule_counts.items())),
+        }
+
+
+def render_stats(stats: RunStats) -> str:
+    """Human-readable ``--stats`` block appended to the text report."""
+    counts = " ".join(f"{r}:{n}" for r, n in sorted(stats.rule_counts.items()))
+    return "\n".join(
+        [
+            "staticcheck stats:",
+            f"  files: {stats.files}  parse: {stats.parse_seconds:.2f}s  "
+            f"index: {stats.index_seconds:.2f}s  "
+            f"dataflow: {stats.dataflow_seconds:.2f}s  "
+            f"rules: {stats.rules_seconds:.2f}s  "
+            f"total: {stats.total_seconds:.2f}s",
+            f"  summary cache: {stats.cache_hits} hits / "
+            f"{stats.cache_misses} misses "
+            f"({100.0 * stats.cache_hit_rate:.1f}% hit rate)",
+            f"  violations by rule: {counts or '(no rules ran)'}",
+        ]
+    )
+
+
+@dataclass
 class CheckReport:
     """Everything one checker invocation produced."""
 
@@ -20,6 +86,7 @@ class CheckReport:
     checked_files: int
     suppressed_by_baseline: int = 0
     graph_problems: list = field(default_factory=list)
+    stats: RunStats | None = None
 
     @property
     def exit_code(self) -> int:
@@ -52,6 +119,8 @@ def render_text(report: CheckReport) -> str:
                 else ""
             )
         )
+    if report.stats is not None:
+        lines.append(render_stats(report.stats))
     return "\n".join(lines)
 
 
@@ -79,4 +148,6 @@ def render_json(report: CheckReport) -> str:
         "counts": dict(Counter(v.rule for v in report.violations)),
         "exit_code": report.exit_code,
     }
+    if report.stats is not None:
+        payload["stats"] = report.stats.to_jsonable()
     return json.dumps(payload, indent=2)

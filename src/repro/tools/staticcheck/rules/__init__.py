@@ -9,9 +9,15 @@ from .determinism import DeterminismRule
 from .dtype_discipline import DtypeDisciplineRule
 from .experiment_registry import ExperimentRegistryRule
 from .obs_naming import ObsNamingRule
+from .off_switch import OffSwitchPurityRule
+from .rng_plumbing import RngPlumbingRule
+from .rule_docs import RuleDocsDriftRule
 from .units import UnitSuffixRule
+from .unit_flow import UnitFlowRule
+from .wall_clock import WallClockRule
 
 ALL_RULES: tuple[Rule, ...] = (
+    RuleDocsDriftRule(),
     CostContractRule(),
     UnitSuffixRule(),
     DeterminismRule(),
@@ -19,6 +25,10 @@ ALL_RULES: tuple[Rule, ...] = (
     ConfigReachabilityRule(),
     ExperimentRegistryRule(),
     ObsNamingRule(),
+    UnitFlowRule(),
+    RngPlumbingRule(),
+    OffSwitchPurityRule(),
+    WallClockRule(),
 )
 
 

@@ -1,0 +1,79 @@
+"""SC902 rng-plumbing: seeded streams must be threaded, not re-rooted.
+
+SC301 guarantees every Generator is *seeded*; it cannot see a function
+that quietly roots a brand-new ``default_rng(0)`` in the middle of the
+serving/fault/overload stack while its callers are already threading a
+seeded stream. That hidden re-rooting makes two sweeps that differ only
+in call order produce identical "random" draws — correlated noise that
+silently narrows every distribution the paper's figures rest on.
+
+Flagged: a non-test ``src/`` function that
+
+* does **not** accept an ``rng``/``seed`` parameter (any spelling:
+  ``rng``, ``seed``, ``base_seed``, ``rng_fc``, ...), and
+* constructs a Generator from a **hard-coded literal** seed, and
+* has at least one caller (conservative name-based call graph) that
+  already holds a stream — an rng/seed parameter or its own Generator.
+
+Deriving the seed from a parameter/attribute (``default_rng(seed + 1)``,
+``default_rng(self.seed)``) and forking through the stable-seed helpers
+(``stable_fc_seed(...)``, anything ``stable_*``/``*_seed``) stay legal —
+those are the explicit plumbing this rule exists to protect.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..engine import ModuleInfo, Project, Rule, Violation
+
+
+def _in_src(relpath: str) -> bool:
+    norm = relpath.replace("\\", "/")
+    return norm.startswith("src/") or "/src/" in norm
+
+
+class RngPlumbingRule(Rule):
+    id = "SC902"
+    name = "rng-plumbing"
+    description = (
+        "src/ functions must accept rng/seed instead of rooting a new "
+        "literal-seeded Generator when a caller already holds a stream"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Violation]:
+        analysis = project.analysis()
+        modules = {m.relpath: m for m in project.modules}
+        for relpath, fn in analysis.iter_summaries():
+            module = modules.get(relpath)
+            if module is None or module.is_test or not _in_src(relpath):
+                continue
+            if fn.has_rng_param or fn.qualname == "<module>":
+                continue
+            literal_sites = [
+                c for c in fn.rng_constructions if c.seed_kind == "literal"
+            ]
+            if not literal_sites:
+                continue
+            holders = [
+                caller
+                for _, caller in analysis.callers_of(relpath, fn.qualname)
+                if caller.holds_rng and caller.qualname != fn.qualname
+            ]
+            if not holders:
+                continue
+            holder_names = sorted({c.qualname for c in holders})
+            for site in literal_sites:
+                yield Violation(
+                    rule=self.id,
+                    name=self.name,
+                    path=relpath,
+                    line=site.line,
+                    col=site.col,
+                    message=(
+                        f"{fn.qualname}() roots a new literal-seeded Generator "
+                        f"while caller(s) {', '.join(holder_names[:3])} already "
+                        "hold a seeded stream; accept an rng/seed parameter, or "
+                        "fork explicitly via a stable_*_seed helper"
+                    ),
+                )

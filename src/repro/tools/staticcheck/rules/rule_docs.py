@@ -1,0 +1,79 @@
+"""SC002 rule-docs-drift: the rule catalogue and its docs must agree.
+
+``docs/STATIC_ANALYSIS.md`` is the contract developers read before
+touching a rule; a rule that ships without a ``### SCxxx`` section is
+undiscoverable, and a documented rule that no longer exists teaches
+people to suppress ids that do nothing. This meta-rule fails lint when
+the registry (:data:`..rules.ALL_RULES`, plus the engine-level SC001 and
+the graph validator SC701) and the catalogue drift in either direction.
+
+When the checked tree has no ``docs/STATIC_ANALYSIS.md`` under the
+project root (snippet fixtures, vendored subtrees), the rule stays
+silent — drift detection only means something in the repo that owns the
+docs.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from ..engine import Project, Rule, Violation
+
+DOCS_RELPATH = "docs/STATIC_ANALYSIS.md"
+
+#: Ids documented and enforced outside the pluggable registry.
+BUILTIN_IDS = {"SC001", "SC701"}
+
+_SECTION_RE = re.compile(r"^###\s+(SC\d{3})\b", re.MULTILINE)
+
+
+class RuleDocsDriftRule(Rule):
+    id = "SC002"
+    name = "rule-docs-drift"
+    description = (
+        "every registered SCxxx rule needs a matching '### SCxxx' section "
+        "in docs/STATIC_ANALYSIS.md, and vice versa"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Violation]:
+        docs_path = project.root / DOCS_RELPATH
+        try:
+            text = docs_path.read_text(encoding="utf-8")
+        except OSError:
+            return  # tree without docs: nothing to drift against
+
+        from . import ALL_RULES  # late import: the registry imports rules
+
+        registered = {rule.id for rule in ALL_RULES} | BUILTIN_IDS | {self.id}
+        documented: dict[str, int] = {}
+        for match in _SECTION_RE.finditer(text):
+            documented.setdefault(
+                match.group(1), text.count("\n", 0, match.start()) + 1
+            )
+
+        for rule_id in sorted(registered - set(documented)):
+            yield Violation(
+                rule=self.id,
+                name=self.name,
+                path=DOCS_RELPATH,
+                line=0,
+                col=0,
+                message=(
+                    f"registered rule {rule_id} has no '### {rule_id}' section "
+                    f"in {DOCS_RELPATH}; document it"
+                ),
+            )
+        for rule_id, line in sorted(documented.items()):
+            if rule_id not in registered:
+                yield Violation(
+                    rule=self.id,
+                    name=self.name,
+                    path=DOCS_RELPATH,
+                    line=line,
+                    col=0,
+                    message=(
+                        f"documented rule {rule_id} is not registered in the "
+                        "checker; delete the section or restore the rule"
+                    ),
+                )

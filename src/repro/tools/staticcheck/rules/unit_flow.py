@@ -1,0 +1,141 @@
+"""SC901 unit-flow: unit suffixes must survive call boundaries.
+
+SC201 catches ``a_ns + b_s`` inside one expression; it cannot see a
+``_s`` value handed to a ``_ns`` parameter two modules away — the single
+most dangerous unit bug in a timing simulator, because the call type
+checks, runs, and silently corrupts every downstream latency by 1e9.
+Three interprocedural checks, all built on the dataflow summaries and
+the project index:
+
+1. **keyword binding** — ``f(timeout_ns=budget_s)``: the keyword name
+   itself declares the parameter's unit; a differing argument unit is
+   flagged with no call-graph resolution needed.
+2. **positional binding** — a unit-suffixed argument bound to a resolved
+   callee parameter carrying a different suffix. Resolution must be
+   exact (import/local/self) or *unanimous* among same-named candidates;
+   any disagreement or unknown unit stays silent.
+3. **return units** — a function whose own name carries a unit suffix
+   (``queueing_delay_ns``) returning a value inferred to a different
+   unit is lying about its contract.
+
+Multiplication/division remain exempt everywhere — they *are* the
+conversions — and rates (``_per_``) carry no unit, exactly as in SC201.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..dataflow import CallSite, FunctionSummary
+from ..engine import ModuleInfo, Project, Rule, Violation
+from .._astutil import unit_of_name
+
+
+class UnitFlowRule(Rule):
+    id = "SC901"
+    name = "unit-flow"
+    description = (
+        "unit suffixes must agree across call boundaries: argument-to-"
+        "parameter bindings and declared return units are checked "
+        "interprocedurally"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Violation]:
+        analysis = project.analysis()
+        modules = {m.relpath: m for m in project.modules}
+        for relpath, fn in analysis.iter_summaries():
+            module = modules.get(relpath)
+            if module is None or module.is_test:
+                continue
+            yield from self._check_returns(relpath, fn)
+            for site in fn.calls:
+                yield from self._check_keywords(relpath, site)
+                yield from self._check_positional(project, relpath, fn, site)
+
+    # ----------------------------------------------------------- checks
+
+    def _check_returns(self, relpath: str, fn: FunctionSummary) -> Iterator[Violation]:
+        declared = fn.name_unit
+        if declared is None:
+            return
+        for unit, line, col in fn.return_units:
+            if unit != declared:
+                yield Violation(
+                    rule=self.id,
+                    name=self.name,
+                    path=relpath,
+                    line=line,
+                    col=col,
+                    message=(
+                        f"{fn.qualname}() declares unit '_{declared}' in its name "
+                        f"but returns a value inferred to '_{unit}'; convert before "
+                        "returning or rename the function"
+                    ),
+                )
+
+    def _check_keywords(self, relpath: str, site: CallSite) -> Iterator[Violation]:
+        for kw_name, arg_unit in site.kw_units.items():
+            if arg_unit is None:
+                continue
+            kw_unit = unit_of_name(kw_name)
+            if kw_unit is not None and kw_unit != arg_unit:
+                line, col = site.kw_lines.get(kw_name, (site.line, site.col))
+                yield Violation(
+                    rule=self.id,
+                    name=self.name,
+                    path=relpath,
+                    line=line,
+                    col=col,
+                    message=(
+                        f"call to {site.callee}() binds a '_{arg_unit}' value to "
+                        f"keyword {kw_name!r} ('_{kw_unit}'); convert explicitly"
+                    ),
+                )
+
+    def _check_positional(
+        self, project: Project, relpath: str, fn: FunctionSummary, site: CallSite
+    ) -> Iterator[Violation]:
+        if site.has_starargs or not any(u is not None for u in site.arg_units):
+            return
+        analysis = project.analysis()
+        candidates, exact = analysis.index.resolve_call(
+            relpath, site.callee, class_context=fn.class_name
+        )
+        if not candidates:
+            return
+        # Was the receiver an instance (`obj.meth(...)`, `self.meth(...)`)
+        # or a constructor (`Class(...)`)? Either way the bound `self`
+        # slot is consumed before user arguments.
+        attribute_call = "." in site.callee
+        for position, arg_unit in enumerate(site.arg_units):
+            if arg_unit is None:
+                continue
+            param_units = set()
+            usable = True
+            for target in candidates:
+                skip_self = target.is_method and (
+                    attribute_call or target.qualname.endswith(".__init__")
+                )
+                positional = target.positional(skip_self=skip_self)
+                if position >= len(positional):
+                    usable = target.has_vararg and exact
+                    if not usable:
+                        break
+                    continue
+                param_units.add((positional[position].name, positional[position].unit))
+            if not usable or len(param_units) != 1:
+                continue  # ambiguous across candidates — stay silent
+            param_name, param_unit = param_units.pop()
+            if param_unit is not None and param_unit != arg_unit:
+                yield Violation(
+                    rule=self.id,
+                    name=self.name,
+                    path=relpath,
+                    line=site.line,
+                    col=site.col,
+                    message=(
+                        f"call to {site.callee}() binds a '_{arg_unit}' value to "
+                        f"parameter {param_name!r} ('_{param_unit}'); convert "
+                        "explicitly"
+                    ),
+                )

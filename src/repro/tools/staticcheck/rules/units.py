@@ -23,11 +23,8 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
+from .._astutil import SIZE_UNITS, TIME_UNITS, UNIT_SUFFIXES, unit_of_name
 from ..engine import ModuleInfo, Project, Rule, Violation
-
-TIME_UNITS = {"ns", "us", "ms", "s", "sec", "seconds"}
-SIZE_UNITS = {"bytes", "kb", "mb", "gb", "tb", "kib", "mib", "gib"}
-UNIT_SUFFIXES = TIME_UNITS | SIZE_UNITS
 
 #: Names that clearly hold a duration but don't say in which unit. Size
 #: stems like ``size`` are NOT listed: ``batch_size``/``kernel_size`` are
@@ -37,14 +34,7 @@ BARE_STEMS = {"latency", "elapsed", "duration", "delay", "timeout"}
 _NUMERIC_ANNOTATIONS = {"int", "float"}
 
 
-def _unit_of_name(name: str) -> str | None:
-    lowered = name.lower()
-    if "_per_" in lowered or lowered.startswith("per_"):
-        return None  # rates: bytes_per_s, flops_per_byte, ...
-    suffix = lowered.rsplit("_", 1)[-1] if "_" in lowered else None
-    if suffix in UNIT_SUFFIXES:
-        return suffix
-    return None
+_unit_of_name = unit_of_name
 
 
 def _target_name(node: ast.expr) -> str | None:

@@ -1,0 +1,71 @@
+"""SC904 wall-clock: simulation layers must use the DES clock.
+
+Every latency in this repo is *simulated* time on a deterministic
+discrete-event clock; a single ``time.time()`` / ``perf_counter()`` /
+``datetime.now()`` / ``sleep()`` in a simulation layer couples results
+to the host machine and silently breaks run-to-run reproducibility (and
+the bit-identity guardrail with it). Real wall-clock measurement is the
+*job* of exactly two places, which are exempt:
+
+* ``benchmarks/`` — wall-clock benchmarking is what they are for;
+* ``tools/`` — developer tooling (including this checker) may time
+  itself.
+
+Test modules are also exempt. Everywhere else — ``src/`` simulation and
+serving layers, ``examples/`` — wall-clock calls are banned; a
+deliberate exception (e.g. the operator wall-time profiler that fig7's
+measured breakdown is defined by) takes an inline
+``# staticcheck: ignore[SC904]`` with a justifying comment.
+
+Detection is import-alias aware: ``import time as t; t.sleep(...)`` and
+``from time import perf_counter as pc; pc()`` are both caught.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+from ..engine import ModuleInfo, Project, Rule, Violation
+
+#: Path segments whose files may legitimately read the wall clock.
+EXEMPT_SEGMENTS = {"benchmarks", "tools"}
+
+
+def _is_exempt(relpath: str) -> bool:
+    return bool(set(Path(relpath.replace("\\", "/")).parts) & EXEMPT_SEGMENTS)
+
+
+class WallClockRule(Rule):
+    id = "SC904"
+    name = "wall-clock"
+    description = (
+        "time.time/perf_counter/sleep/datetime.now are banned outside "
+        "benchmarks/ and tools/ — simulation layers use the DES clock"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Violation]:
+        analysis = project.analysis()
+        modules = {m.relpath: m for m in project.modules}
+        for relpath, fn in analysis.iter_summaries():
+            module = modules.get(relpath)
+            if module is None or module.is_test or _is_exempt(relpath):
+                continue
+            for call in fn.wall_clock:
+                where = (
+                    "at import time"
+                    if fn.qualname == "<module>"
+                    else f"in {fn.qualname}()"
+                )
+                yield Violation(
+                    rule=self.id,
+                    name=self.name,
+                    path=relpath,
+                    line=call.line,
+                    col=call.col,
+                    message=(
+                        f"{call.func}() {where} reads the host wall clock; "
+                        "simulation layers must derive time from the DES clock "
+                        "(only benchmarks/ and tools/ may time real execution)"
+                    ),
+                )

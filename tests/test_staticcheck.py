@@ -808,7 +808,12 @@ def test_repository_is_clean():
     """The acceptance invariant: the checked-in tree passes its own linter."""
     repo_root = Path(__file__).resolve().parent.parent
     project = load_project(
-        [repo_root / "src", repo_root / "tests", repo_root / "benchmarks"],
+        [
+            repo_root / "src",
+            repo_root / "tests",
+            repo_root / "benchmarks",
+            repo_root / "examples",
+        ],
         root=repo_root,
     )
     violations = run_checks(project, list(ALL_RULES))
