@@ -46,6 +46,7 @@ _ORDERED = [
     "figure11y",
     "figure14",
     "figure5",
+    "fleet",
 ]
 
 

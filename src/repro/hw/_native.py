@@ -37,7 +37,7 @@ from pathlib import Path
 
 import numpy as np
 
-__all__ = ["load_kernel", "native_available", "NativeKernel"]
+__all__ = ["compile_cached", "load_kernel", "native_available", "NativeKernel"]
 
 # Mirror of the reference engine in repro.hw.cache / repro.hw.hierarchy.
 # Each cache set keeps its resident lines contiguous from slot 0 in LRU
@@ -384,18 +384,34 @@ def _compiler() -> str | None:
     return None
 
 
-def _compile(build_dir: Path, tag: str) -> Path | None:
+def compile_cached(
+    source: str, stem: str, extra_flags: tuple[str, ...] = ()
+) -> Path | None:
+    """Compile C ``source`` into a cached shared object; None if impossible.
+
+    The artifact is keyed by a hash of the source and the extra compiler
+    flags, so edits to either trigger a rebuild while repeat calls reuse
+    the cached ``.so``. Honours ``REPRO_DISABLE_NATIVE=1`` and the
+    ``REPRO_NATIVE_CACHE`` build-directory override. Shared by every
+    self-compiled kernel in the repo (cache replay here, the DES kernel
+    in :mod:`repro.serving._des_native`).
+    """
+    if os.environ.get("REPRO_DISABLE_NATIVE") == "1":
+        return None
     cc = _compiler()
     if cc is None:
         return None
+    key = source + "\x00" + " ".join(extra_flags)
+    tag = hashlib.sha256(key.encode()).hexdigest()[:16]
+    build_dir = _build_dir()
     suffix = ".dylib" if sys.platform == "darwin" else ".so"
-    target = build_dir / f"repro_replay-{tag}{suffix}"
+    target = build_dir / f"{stem}-{tag}{suffix}"
     if target.exists():
         return target
-    src = build_dir / f"repro_replay-{tag}.c"
-    src.write_text(_C_SOURCE)
-    tmp = build_dir / f".repro_replay-{tag}-{os.getpid()}{suffix}"
-    cmd = [cc, "-O2", "-shared", "-fPIC", "-o", str(tmp), str(src)]
+    src = build_dir / f"{stem}-{tag}.c"
+    src.write_text(source)
+    tmp = build_dir / f".{stem}-{tag}-{os.getpid()}{suffix}"
+    cmd = [cc, "-O2", "-shared", "-fPIC", *extra_flags, "-o", str(tmp), str(src)]
     try:
         subprocess.run(
             cmd, check=True, capture_output=True, timeout=120
@@ -419,12 +435,8 @@ def load_kernel() -> NativeKernel | None:
     global _CACHED
     if _CACHED is not None:
         return _CACHED[1]
-    if os.environ.get("REPRO_DISABLE_NATIVE") == "1":
-        _CACHED = (False, None)
-        return None
-    tag = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
     try:
-        path = _compile(_build_dir(), tag)
+        path = compile_cached(_C_SOURCE, "repro_replay")
         kernel = NativeKernel(ctypes.CDLL(str(path))) if path else None
     except OSError:
         kernel = None

@@ -188,22 +188,28 @@ class BatchedServer:
             # ``queue_capacity`` batches in flight, arriving queries are
             # refused at admission (shed upstream) rather than absorbed.
             batcher = Batcher(max_items=self.max_batch, max_wait_s=self.max_wait_s)
-            in_flight: list[float] = []  # completion times, min-heap
+            # Completion-time min-heap. The monotonic sequence number makes
+            # ties at equal completion times pop in push order explicitly,
+            # so the heap's order never depends on heapq internals.
+            in_flight: list[tuple[float, int]] = []
+            seq = 0
             for query in sorted(queries, key=lambda q: q.arrival_s):
                 now = query.arrival_s
-                while in_flight and in_flight[0] <= now:
+                while in_flight and in_flight[0][0] <= now:
                     heapq.heappop(in_flight)
                 timed_out = batcher.poll(now)
                 if timed_out is not None:
-                    heapq.heappush(in_flight, serve(timed_out))
-                    while in_flight and in_flight[0] <= now:
+                    heapq.heappush(in_flight, (serve(timed_out), seq))
+                    seq += 1
+                    while in_flight and in_flight[0][0] <= now:
                         heapq.heappop(in_flight)
                 if len(in_flight) >= self.queue_capacity:
                     shed += 1
                     continue
                 formed = batcher.offer(query)
                 if formed is not None:
-                    heapq.heappush(in_flight, serve(formed))
+                    heapq.heappush(in_flight, (serve(formed), seq))
+                    seq += 1
             tail = batcher.flush(queries[-1].arrival_s + self.max_wait_s)
             if tail is not None:
                 serve(tail)

@@ -590,6 +590,12 @@ class ResilientRouter:
         metrics_labels: labels attached to every series this router
             records (e.g. ``{"policy": "retry2"}`` to compare policies in
             one registry).
+        engine: DES engine (:data:`repro.serving.des.ENGINES`).
+            ``"reference"`` runs the per-event loop below (the executable
+            spec); ``"vectorized"`` runs the incremental-state engine in
+            :mod:`repro.serving.des`, byte-identical on latencies, stats,
+            spans and RNG draws — the difference is wall clock, which at
+            ~1000 machines is one to two orders of magnitude.
     """
 
     def __init__(
@@ -606,9 +612,13 @@ class ResilientRouter:
         tracer: Tracer | NullTracer | None = None,
         metrics: MetricsRegistry | None = None,
         metrics_labels: dict[str, str] | None = None,
+        engine: str = "reference",
     ) -> None:
+        from .des import validate_engine
+
         if num_machines < 1:
             raise ValueError("need at least one machine")
+        self.engine = validate_engine(engine)
         self.server = server
         self.config = config
         self.batch_size = batch_size
@@ -743,7 +753,30 @@ class ResilientRouter:
         :class:`~repro.serving.loadgen.SpikeLoadGenerator`); every time
         must lie in ``[0, duration_s)``. ``offered_qps`` is then only the
         nominal rate recorded in the result.
+
+        Dispatches on ``engine=``: the reference loop below is the
+        executable spec; the vectorized engine reproduces it byte for
+        byte (``tests/test_des_equivalence.py``).
         """
+        if self.engine == "vectorized":
+            from .des import run_router_vectorized
+
+            return run_router_vectorized(
+                self, offered_qps, duration_s, faults, sla, arrival_times_s
+            )
+        return self._run_reference(
+            offered_qps, duration_s, faults, sla, arrival_times_s
+        )
+
+    def _run_reference(
+        self,
+        offered_qps: float,
+        duration_s: float = 1.0,
+        faults: FaultSchedule | None = None,
+        sla: SLA | None = None,
+        arrival_times_s: Sequence[float] | None = None,
+    ) -> FaultyServingResult:
+        """The per-event reference loop (the executable spec)."""
         if offered_qps <= 0 or duration_s <= 0:
             raise ValueError("rate and duration must be positive")
         faults = faults or FaultSchedule.zero()

@@ -18,6 +18,8 @@ contention (and faster on inclusive hierarchies).
 from __future__ import annotations
 
 import heapq
+import math
+from collections.abc import Sequence
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import TYPE_CHECKING
@@ -112,7 +114,11 @@ class SimulationResult:
     batch_size: int
     num_instances: int
     duration_s: float
-    records: list[InferenceRecord]
+    #: Completed inferences: a ``list[InferenceRecord]`` from the reference
+    #: engine (and observed vectorized runs), or a duck-compatible
+    #: :class:`~repro.serving.des.RecordBatch` (SoA) from unobserved
+    #: vectorized runs — same elements, same order, same floats.
+    records: Sequence[InferenceRecord]
     offered: int = 0
     killed: int = 0
     downtime_s: float = 0.0
@@ -121,10 +127,16 @@ class SimulationResult:
 
     def latencies_s(self) -> np.ndarray:
         """End-to-end latency of every completed inference."""
+        fast = getattr(self.records, "latencies_s", None)
+        if fast is not None:
+            return fast()
         return np.array([r.latency_s for r in self.records], dtype=np.float64)
 
     def service_times_s(self) -> np.ndarray:
         """Service time (excluding queueing) of every inference."""
+        fast = getattr(self.records, "service_times_s", None)
+        if fast is not None:
+            return fast()
         return np.array([r.service_s for r in self.records], dtype=np.float64)
 
     def summary(self) -> LatencySummary:
@@ -139,6 +151,9 @@ class SimulationResult:
 
     def active_job_counts(self) -> np.ndarray:
         """Active co-located jobs observed at each dispatch."""
+        fast = getattr(self.records, "active_job_counts", None)
+        if fast is not None:
+            return fast()
         return np.array([r.active_jobs for r in self.records], dtype=np.int64)
 
     def availability(self) -> float:
@@ -191,6 +206,17 @@ class ServingSimulator:
             gauge (backlog left at the horizon), the
             ``serving.queue.max_depth`` gauge, and the
             ``serving.overload.shed`` counter.
+        engine: DES engine (:data:`repro.serving.des.ENGINES`).
+            ``"reference"`` runs the per-event loop below (the executable
+            spec); ``"vectorized"`` runs the batched SoA engine in
+            :mod:`repro.serving.des`, bit-identical on records, stats,
+            spans and RNG stream.
+        backend: vectorized-engine backend
+            (:data:`repro.serving.des.BACKENDS`): ``"auto"`` tries the
+            self-compiled C kernel and falls back to batched python,
+            ``"python"`` forces the fallback, ``"native"`` requires the
+            kernel. Ignored by the reference engine. After each run,
+            :attr:`last_backend` records which path actually executed.
     """
 
     def __init__(
@@ -207,11 +233,20 @@ class ServingSimulator:
         profiler: "OpProfiler | None" = None,
         overload: "OverloadConfig | None" = None,
         metrics: "MetricsRegistry | None" = None,
+        engine: str = "reference",
+        backend: str = "auto",
     ) -> None:
+        from .des import validate_backend, validate_engine
+
         if num_instances < 1:
             raise ValueError("need at least one instance")
         if per_instance_qps is not None and per_instance_qps <= 0:
             raise ValueError("per_instance_qps must be positive")
+        self.engine = validate_engine(engine)
+        self.backend = validate_backend(backend)
+        #: Execution path of the most recent :meth:`run`: ``"reference"``,
+        #: ``"python"`` (batched loop) or ``"native"`` (C kernel).
+        self.last_backend: str | None = None
         if overload is not None and (
             overload.breaker is not None or overload.brownout is not None
         ):
@@ -359,7 +394,21 @@ class ServingSimulator:
     # ------------------------------------------------------------------ run
 
     def run(self, duration_s: float = 1.0) -> SimulationResult:
-        """Simulate ``duration_s`` of serving; returns completed inferences."""
+        """Simulate ``duration_s`` of serving; returns completed inferences.
+
+        Dispatches on ``engine=``: the reference loop below is the
+        executable spec; the vectorized engine reproduces it bit for bit
+        (``tests/test_des_equivalence.py``).
+        """
+        if self.engine == "vectorized":
+            from .des import run_simulator_vectorized
+
+            return run_simulator_vectorized(self, duration_s)
+        self.last_backend = "reference"
+        return self._run_reference(duration_s)
+
+    def _run_reference(self, duration_s: float) -> SimulationResult:
+        """The per-event reference loop (the executable spec)."""
         if duration_s <= 0:
             raise ValueError("duration must be positive")
         rng = self._rng
@@ -610,13 +659,21 @@ class ServingSimulator:
         weight_bytes = (input_dim * output_dim + output_dim) * 4
         act_bytes = fc_batch * (input_dim + output_dim) * 4
         flops = 2 * fc_batch * input_dim * output_dim
-        samples = np.empty(len(result.records), dtype=np.float64)
+        n = len(result.records)
+        samples = np.empty(n, dtype=np.float64)
         rng = np.random.default_rng(stable_fc_seed(input_dim, output_dim))
-        base_cache: dict[int, float] = {}
-        for i, record in enumerate(result.records):
-            active = record.active_jobs
-            if active not in base_cache:
-                base_cache[active] = self.timing.fc_time(
+        # One chunked standard-normal draw replaces n scalar lognormal
+        # calls bit for bit: each lognormal consumes exactly one normal
+        # draw and equals exp(mean + sigma * z), and a chunked draw yields
+        # the same z sequence as n scalar draws.
+        normals = rng.standard_normal(n)
+        actives = result.active_job_counts()
+        base_cache: dict[int, tuple[float, float, float]] = {}
+        for i in range(n):
+            active = int(actives[i])
+            cached = base_cache.get(active)
+            if cached is None:
+                base_s = self.timing.fc_time(
                     "fc-probe",
                     flops=flops,
                     weight_bytes=weight_bytes,
@@ -624,8 +681,9 @@ class ServingSimulator:
                     batch=fc_batch,
                     state=self.state_for(active),
                 ).seconds
-            sigma = self.noise_sigma(active)
-            samples[i] = base_cache[active] * float(
-                rng.lognormal(mean=-0.5 * sigma**2, sigma=sigma)
-            )
+                sigma = self.noise_sigma(active)
+                cached = (base_s, -0.5 * sigma**2, sigma)
+                base_cache[active] = cached
+            base_s, log_mean, sigma = cached
+            samples[i] = base_s * math.exp(log_mean + sigma * normals[i])
         return samples

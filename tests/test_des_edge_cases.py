@@ -1,0 +1,292 @@
+"""DES edge cases both engines (and the C backend) must agree on.
+
+Satellites of the two-engine equivalence suite: degenerate compositions
+where event ordering is most fragile — multiple event kinds landing on
+one timestamp, zero-duration backoffs, empty arrival streams, one-replica
+fleets, capacity-1 queues — plus the event-ordering regression tests for
+the explicit ``(time, seq)`` heap tie-breakers (permuted construction of
+the same fault schedule must replay identically).
+"""
+
+import heapq
+
+import numpy as np
+import pytest
+
+from repro.config import RMC1_SMALL
+from repro.hw import BROADWELL
+from repro.serving import (
+    SLA,
+    AdmissionPolicy,
+    BatchedServer,
+    FaultSchedule,
+    OverloadConfig,
+    ReplicaCrash,
+    ResiliencePolicy,
+    ResilientRouter,
+    ServingSimulator,
+    Straggler,
+)
+from repro.serving._des_native import native_available
+from tests.test_des_equivalence import SERVICE_S, router_key, sim_key
+
+ENGINES = ("reference", "vectorized")
+SIM_BACKENDS = (
+    ("reference", "auto"),
+    ("vectorized", "python"),
+) + ((("vectorized", "native"),) if native_available() else ())
+
+
+def sim_keys(**kwargs):
+    duration_s = kwargs.pop("duration_s", 0.03)
+    keys = []
+    for engine, backend in SIM_BACKENDS:
+        sim = ServingSimulator(
+            BROADWELL, RMC1_SMALL, 8, engine=engine, backend=backend, **kwargs
+        )
+        keys.append(sim_key(sim.run(duration_s)))
+    return keys
+
+
+def router_keys(run_kwargs=None, **kwargs):
+    run_kwargs = dict(run_kwargs or {})
+    run_kwargs.setdefault("offered_qps", 2.0 * 2 / SERVICE_S)
+    run_kwargs.setdefault("duration_s", 0.03)
+    run_kwargs.setdefault("sla", SLA(deadline_s=25.0 * SERVICE_S))
+    keys = []
+    for engine in ENGINES:
+        router = ResilientRouter(
+            BROADWELL, RMC1_SMALL, 8, engine=engine, **kwargs
+        )
+        keys.append(router_key(router.run(**run_kwargs)))
+    return keys
+
+
+def assert_all_equal(keys):
+    for key in keys[1:]:
+        assert key == keys[0]
+
+
+class TestSimultaneousEvents:
+    def test_arrival_crash_restart_share_one_timestamp(self):
+        # A crash, a restart of another replica, and explicit arrivals all
+        # at t=0.01 — the (time, seq) tie-break must order them the same
+        # way in every engine.
+        t = 0.01
+        faults = FaultSchedule(
+            crashes=(
+                ReplicaCrash(replica_id=0, at_s=t, downtime_s=0.005),
+                ReplicaCrash(replica_id=1, at_s=t - 0.005, downtime_s=0.005),
+            )
+        )
+        arrivals = [0.0, t, t, t, 0.02]
+        assert_all_equal(
+            router_keys(
+                num_machines=2,
+                seed=3,
+                policy=ResiliencePolicy(
+                    timeout_s=30.0 * SERVICE_S,
+                    max_retries=1,
+                    backoff_base_s=0.0,  # zero-duration backoff: retry
+                    # lands on the failure's own timestamp
+                ),
+                run_kwargs={
+                    "arrival_times_s": arrivals,
+                    "faults": faults,
+                },
+            )
+        )
+
+    def test_simulator_crash_on_arrival_timestamp(self):
+        faults = FaultSchedule(
+            crashes=(ReplicaCrash(replica_id=0, at_s=0.01, downtime_s=0.004),),
+            stragglers=(
+                Straggler(
+                    replica_id=0, start_s=0.01, duration_s=0.01, slowdown=5.0
+                ),
+            ),
+        )
+        assert_all_equal(
+            sim_keys(
+                num_instances=2,
+                per_instance_qps=3.0 / SERVICE_S,
+                seed=5,
+                faults=faults,
+            )
+        )
+
+    def test_breaker_transition_with_simultaneous_arrivals(self):
+        # Timeouts trip breakers; tied arrival bursts then race the
+        # breaker's open/half-open transitions on shared timestamps.
+        faults = FaultSchedule(
+            stragglers=(
+                Straggler(
+                    replica_id=0, start_s=0.0, duration_s=0.03, slowdown=50.0
+                ),
+            )
+        )
+        burst = sorted([0.0, 0.005, 0.005, 0.005, 0.01, 0.01, 0.02] * 3)
+        from repro.serving import BreakerPolicy
+
+        assert_all_equal(
+            router_keys(
+                num_machines=2,
+                seed=7,
+                policy=ResiliencePolicy(
+                    timeout_s=5.0 * SERVICE_S,
+                    max_retries=1,
+                    backoff_base_s=0.0,
+                ),
+                overload=OverloadConfig(
+                    breaker=BreakerPolicy(
+                        failure_threshold=1,
+                        window_s=20.0 * SERVICE_S,
+                        open_duration_s=10.0 * SERVICE_S,
+                        half_open_probes=1,
+                    )
+                ),
+                run_kwargs={"arrival_times_s": burst, "faults": faults},
+            )
+        )
+
+
+class TestDegenerateStreams:
+    def test_empty_arrival_stream(self):
+        keys = router_keys(
+            num_machines=2, seed=1, run_kwargs={"arrival_times_s": []}
+        )
+        assert_all_equal(keys)
+        assert keys[0][0] == 0  # offered
+
+    def test_near_empty_open_loop(self):
+        # An arrival rate so low most seeds produce zero arrivals.
+        assert_all_equal(
+            sim_keys(num_instances=2, per_instance_qps=1e-6, seed=13)
+        )
+
+    def test_single_replica_fleet(self):
+        assert_all_equal(
+            router_keys(
+                num_machines=1,
+                seed=2,
+                policy=ResiliencePolicy(
+                    timeout_s=30.0 * SERVICE_S, max_retries=2
+                ),
+                run_kwargs={
+                    "offered_qps": 3.0 / SERVICE_S,
+                    "faults": FaultSchedule(
+                        crashes=(
+                            ReplicaCrash(
+                                replica_id=0, at_s=0.01, downtime_s=0.005
+                            ),
+                        )
+                    ),
+                },
+            )
+        )
+        assert_all_equal(
+            sim_keys(num_instances=1, per_instance_qps=2.0 / SERVICE_S, seed=4)
+        )
+
+    @pytest.mark.parametrize(
+        "shed_policy", ["reject_newest", "reject_oldest", "deadline_aware"]
+    )
+    def test_capacity_one_queues(self, shed_policy):
+        admission = AdmissionPolicy(
+            queue_capacity=1,
+            shed_policy=shed_policy,
+            deadline_s=10.0 * SERVICE_S,
+            codel_target_s=2.0 * SERVICE_S,
+            codel_interval_s=8.0 * SERVICE_S,
+        )
+        assert_all_equal(
+            sim_keys(
+                num_instances=2,
+                per_instance_qps=5.0 / SERVICE_S,
+                seed=6,
+                overload=OverloadConfig(admission=admission),
+            )
+        )
+        assert_all_equal(
+            router_keys(
+                num_machines=2,
+                seed=6,
+                overload=OverloadConfig(admission=admission),
+                run_kwargs={"offered_qps": 8.0 * 2 / SERVICE_S},
+            )
+        )
+
+
+class TestEventOrderingDeterminism:
+    def test_permuted_fault_schedule_replays_identically(self):
+        # The same faults listed in a different tuple order must yield
+        # byte-identical runs: event seqs come from the schedule's sorted
+        # transition edges, never from construction order.
+        crashes = (
+            ReplicaCrash(replica_id=0, at_s=0.01, downtime_s=0.004),
+            ReplicaCrash(replica_id=1, at_s=0.01, downtime_s=0.004),
+            ReplicaCrash(replica_id=2, at_s=0.005, downtime_s=0.009),
+        )
+        stragglers = (
+            Straggler(replica_id=0, start_s=0.0, duration_s=0.02, slowdown=4.0),
+            Straggler(replica_id=1, start_s=0.0, duration_s=0.02, slowdown=6.0),
+        )
+        forward = FaultSchedule(crashes=crashes, stragglers=stragglers)
+        permuted = FaultSchedule(
+            crashes=crashes[::-1], stragglers=stragglers[::-1]
+        )
+        for engine, backend in SIM_BACKENDS:
+            runs = []
+            for schedule in (forward, permuted):
+                sim = ServingSimulator(
+                    BROADWELL,
+                    RMC1_SMALL,
+                    8,
+                    num_instances=3,
+                    per_instance_qps=3.0 / SERVICE_S,
+                    seed=8,
+                    faults=schedule,
+                    engine=engine,
+                    backend=backend,
+                )
+                runs.append(sim_key(sim.run(0.03)))
+            assert runs[0] == runs[1], (engine, backend)
+        for engine in ENGINES:
+            runs = []
+            for schedule in (forward, permuted):
+                router = ResilientRouter(
+                    BROADWELL, RMC1_SMALL, 8, 3, seed=8, engine=engine
+                )
+                runs.append(
+                    router_key(
+                        router.run(
+                            offered_qps=2.0 * 3 / SERVICE_S,
+                            duration_s=0.03,
+                            faults=schedule,
+                            sla=SLA(deadline_s=25.0 * SERVICE_S),
+                        )
+                    )
+                )
+            assert runs[0] == runs[1], engine
+
+    def test_batched_server_inflight_heap_orders_ties_by_push(self):
+        # The backpressure path's completion heap carries (time, seq):
+        # pushes with tied completion times must pop in push order, not
+        # in heapq's internal layout order.
+        entries = [(0.5, 0), (0.5, 1), (0.25, 2), (0.5, 3), (0.25, 4)]
+        for rotation in range(len(entries)):
+            heap: list[tuple[float, int]] = []
+            for entry in entries[rotation:] + entries[:rotation]:
+                heapq.heappush(heap, entry)
+            popped = [heapq.heappop(heap) for _ in range(len(heap))]
+            assert popped == sorted(entries)
+        # End-to-end: the bounded-queue server still runs and sheds
+        # deterministically with the tuple-keyed heap.
+        server = BatchedServer(
+            BROADWELL, RMC1_SMALL, max_batch=4, max_wait_s=0.001,
+            queue_capacity=1,
+        )
+        a = server.simulate(offered_qps=5000.0, duration_s=0.05, seed=3)
+        b = server.simulate(offered_qps=5000.0, duration_s=0.05, seed=3)
+        assert a.shed == b.shed
+        assert np.array_equal(a.query_latencies_s, b.query_latencies_s)

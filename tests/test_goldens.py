@@ -14,6 +14,7 @@ from repro.experiments import (
     fig11x_faults,
     fig11y_overload,
     fig14_trace_locality,
+    fleet_day,
 )
 
 
@@ -76,13 +77,7 @@ def test_fig09_colocation_golden(golden):
     golden("fig09_colocation", payload)
 
 
-def test_fig11_tail_latency_golden(golden):
-    result = fig11_tail_latency.run(
-        regimes=(1, 8),
-        curve_jobs=(1, 8, 16),
-        duration_s=0.15,
-        seed=11,
-    )
+def _fig11_payload(result):
     payload = {}
     for server_name, server in sorted(result.servers.items()):
         payload[server_name] = {
@@ -97,12 +92,21 @@ def test_fig11_tail_latency_golden(golden):
                 p.summary.p99 for p in server.curve_large
             ],
         }
-    golden("fig11_tail_latency", payload)
+    return payload
 
 
-def test_fig11x_faults_golden(golden):
-    result = fig11x_faults.run(num_machines=4, duration_s=0.4, seed=11)
-    payload = {
+def test_fig11_tail_latency_golden(golden):
+    result = fig11_tail_latency.run(
+        regimes=(1, 8),
+        curve_jobs=(1, 8, 16),
+        duration_s=0.15,
+        seed=11,
+    )
+    golden("fig11_tail_latency", _fig11_payload(result))
+
+
+def _fig11x_payload(result):
+    return {
         "server": result.server_name,
         "model": result.model_name,
         "offered_qps": result.offered_qps,
@@ -128,12 +132,15 @@ def test_fig11x_faults_golden(golden):
             for name, outcome in sorted(result.outcomes.items())
         },
     }
-    golden("fig11x_faults", payload)
 
 
-def test_fig11y_overload_golden(golden):
-    result = fig11y_overload.run(duration_s=0.25, seed=11)
-    payload = {
+def test_fig11x_faults_golden(golden):
+    result = fig11x_faults.run(num_machines=4, duration_s=0.4, seed=11)
+    golden("fig11x_faults", _fig11x_payload(result))
+
+
+def _fig11y_payload(result):
+    return {
         "server": result.server_name,
         "model": result.model_name,
         "capacity_qps": result.capacity_qps,
@@ -171,4 +178,87 @@ def test_fig11y_overload_golden(golden):
             for name, outcome in sorted(result.outcomes.items())
         },
     }
-    golden("fig11y_overload", payload)
+
+
+def test_fig11y_overload_golden(golden):
+    result = fig11y_overload.run(duration_s=0.25, seed=11)
+    golden("fig11y_overload", _fig11y_payload(result))
+
+
+# --- Engine byte-identity against the checked-in goldens -------------------
+#
+# The goldens above were recorded with the reference DES engine. Re-running
+# each DES-backed figure with ``engine="vectorized"`` must reproduce the
+# same golden byte for byte — the two engines are one model. Figures 9, 10
+# and 14 contain no DES (analytic roofline sweeps and a cache trace), so
+# the reference goldens already cover every engine for them.
+
+
+def test_fig11_vectorized_engine_matches_golden(golden):
+    result = fig11_tail_latency.run(
+        regimes=(1, 8),
+        curve_jobs=(1, 8, 16),
+        duration_s=0.15,
+        seed=11,
+        engine="vectorized",
+    )
+    golden("fig11_tail_latency", _fig11_payload(result))
+
+
+def test_fig11x_vectorized_engine_matches_golden(golden):
+    result = fig11x_faults.run(
+        num_machines=4, duration_s=0.4, seed=11, engine="vectorized"
+    )
+    golden("fig11x_faults", _fig11x_payload(result))
+
+
+def test_fig11y_vectorized_engine_matches_golden(golden):
+    result = fig11y_overload.run(
+        duration_s=0.25, seed=11, engine="vectorized"
+    )
+    golden("fig11y_overload", _fig11y_payload(result))
+
+
+def test_fleet_day_golden(golden):
+    # Scaled-down day (24-replica peak, 6 windows) so the golden runs in
+    # seconds; the full-scale day lives in benchmarks/bench_des_replay.py.
+    result = fleet_day.run(
+        peak_replicas=24, windows=6, window_sim_s=0.02, seed=11
+    )
+    payload = {
+        "server": result.server_name,
+        "model": result.model_name,
+        "batch_size": result.batch_size,
+        "peak_replicas": result.peak_replicas,
+        "machine_hours": result.machine_hours,
+        "sla_deadline_s": result.sla_deadline_s,
+        "incident": {
+            "start_hour": result.incident.start_hour,
+            "duration_hours": result.incident.duration_hours,
+            "capacity_loss": result.incident.capacity_loss,
+        },
+        "totals": {
+            "offered": result.total_offered,
+            "completed": result.total_completed,
+            "shed": result.total_shed,
+            "failed": result.total_failed,
+            "availability": result.availability,
+        },
+        "windows": [
+            {
+                "hour": w.hour,
+                "replicas": w.replicas,
+                "demand_items_per_s": w.demand_items_per_s,
+                "offered": w.offered,
+                "completed": w.completed,
+                "failed": w.failed,
+                "shed": w.shed,
+                "breaker_opens": w.breaker_opens,
+                "p50_s": w.summary.p50,
+                "p99_s": w.summary.p99,
+                "goodput_qps": w.goodput_qps,
+            }
+            for w in result.windows
+        ],
+    }
+    golden("fleet_day", payload)

@@ -8,8 +8,11 @@ the draw, the books must balance:
   offered = completed + shed + killed + in-flight (simulator);
 * rate level — goodput <= throughput <= offered rate.
 
-CI runs this as a dedicated "chaos smoke" step; crank the sweep with
-``CHAOS_EXAMPLES=200`` locally when touching the overload layer.
+Every example also draws which DES engine (``reference`` or
+``vectorized``) runs it, so the invariants are exercised on both engines
+in the same sweep. CI runs this as a dedicated "chaos smoke" step with
+``CHAOS_EXAMPLES=40``; crank the sweep with ``CHAOS_EXAMPLES=200``
+locally when touching the overload or DES layers.
 """
 
 import os
@@ -123,9 +126,10 @@ class TestRouterChaos:
         load_factor=st.floats(0.3, 6.0),
         timeout_factor=st.one_of(st.none(), st.floats(10.0, 60.0)),
         seed=st.integers(0, 2**16),
+        engine=st.sampled_from(("reference", "vectorized")),
     )
     def test_conservation_and_rate_ordering(
-        self, overload, faults, load_factor, timeout_factor, seed
+        self, overload, faults, load_factor, timeout_factor, seed, engine
     ):
         policy = (
             ResiliencePolicy.none()
@@ -144,6 +148,7 @@ class TestRouterChaos:
             policy=policy,
             overload=overload,
             seed=seed,
+            engine=engine,
         )
         result = router.run(
             offered_qps=load_factor * NUM_MACHINES / SERVICE_S,
@@ -191,9 +196,10 @@ class TestRouterChaos:
         faults=fault_schedules(),
         load_factor=st.floats(0.3, 6.0),
         seed=st.integers(0, 2**16),
+        engine=st.sampled_from(("reference", "vectorized")),
     )
     def test_runs_are_deterministic(
-        self, overload, faults, load_factor, seed
+        self, overload, faults, load_factor, seed, engine
     ):
         def once():
             return ResilientRouter(
@@ -203,6 +209,7 @@ class TestRouterChaos:
                 NUM_MACHINES,
                 overload=overload,
                 seed=seed,
+                engine=engine,
             ).run(
                 offered_qps=load_factor * NUM_MACHINES / SERVICE_S,
                 duration_s=DURATION_S,
@@ -226,9 +233,10 @@ class TestSimulatorChaos:
         load_factor=st.floats(0.3, 5.0),
         faults=fault_schedules(),
         seed=st.integers(0, 2**16),
+        engine=st.sampled_from(("reference", "vectorized")),
     )
     def test_conservation(
-        self, capacity, shed_policy, load_factor, faults, seed
+        self, capacity, shed_policy, load_factor, faults, seed, engine
     ):
         overload = (
             None
@@ -250,6 +258,7 @@ class TestSimulatorChaos:
             seed=seed,
             overload=overload,
             faults=faults,
+            engine=engine,
         )
         result = sim.run(duration_s=DURATION_S)
         in_flight = check_conservation(
