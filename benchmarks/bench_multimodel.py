@@ -1,0 +1,214 @@
+"""Perf-trajectory bench: multi-model router, reference vs vectorized.
+
+Times identical mixed-traffic runs through both DES engines of
+:class:`~repro.serving.multimodel.MultiModelRouter` and digests the
+results to re-prove bit-identity at bench scale, then times the full
+figure-MM experiment (mixed pool vs static partitioning). Writes
+``BENCH_multimodel.json`` so future PRs can track the subsystem's
+trajectory.
+
+Run directly (CI uploads the JSON as an artifact)::
+
+    PYTHONPATH=src python benchmarks/bench_multimodel.py
+
+or through pytest (excluded from tier-1, which only collects ``tests/``)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_multimodel.py -m perf -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.config.presets import RMC1_SMALL, RMC2_SMALL, RMC3_SMALL
+from repro.experiments import figmm_multimodel
+from repro.hw.server import BROADWELL, SKYLAKE
+from repro.serving.multimodel import MultiModelPool, MultiModelRouter
+
+DEFAULT_OUT = Path(__file__).parent / "BENCH_multimodel.json"
+
+REPLICAS = (BROADWELL, BROADWELL, SKYLAKE, SKYLAKE)
+MODELS = (RMC1_SMALL, RMC2_SMALL, RMC3_SMALL)
+MIX = (0.5, 0.3, 0.2)
+DURATION_S = 0.5
+SEED = 7
+# Both engines share the transition core (that is what makes them
+# bit-identical); the vectorized one only wins on event sourcing and
+# chunked noise, measuring ~1.05x here. The floor guards against a
+# regression that makes it materially slower, with headroom for timer
+# noise on shared CI runners.
+VECTORIZED_FLOOR = 0.9
+
+
+def _router(engine: str) -> MultiModelRouter:
+    pool = MultiModelPool(
+        REPLICAS,
+        MODELS,
+        slots_per_replica=2,
+        thrash_window_s=0.05,
+    )
+    return MultiModelRouter(pool, batch_size=8, seed=SEED, engine=engine)
+
+
+def _run_once(engine: str, offered_target: int) -> tuple[float, int, tuple]:
+    offered_qps = offered_target / DURATION_S
+    router = _router(engine)
+    start_s = time.perf_counter()
+    result = router.run(DURATION_S, offered_qps=offered_qps, mix=MIX)
+    elapsed_s = time.perf_counter() - start_s
+    digest = (
+        result.offered_by_model,
+        result.completed_by_model,
+        result.shed_by_model,
+        result.killed_by_model,
+        result.loads,
+        result.swaps,
+        result.thrash,
+        result.max_queue_depth,
+        result.hol_bypasses,
+        hashlib.sha256(result.latencies_s().tobytes()).hexdigest(),
+    )
+    return elapsed_s, result.offered, digest
+
+
+def bench_router(offered_targets: tuple[int, ...]) -> list[dict]:
+    """Time both engines on identical mixed-traffic runs."""
+    rows = []
+    for target in offered_targets:
+        reference_s, offered, reference_digest = _run_once(
+            "reference", target
+        )
+        vectorized_s, _, vectorized_digest = _run_once("vectorized", target)
+        assert vectorized_digest == reference_digest, "engines diverged"
+        rows.append(
+            {
+                "offered_target": int(target),
+                "offered": int(offered),
+                "replicas": len(REPLICAS),
+                "models": len(MODELS),
+                "reference_s": reference_s,
+                "vectorized_s": vectorized_s,
+                "speedup": reference_s / vectorized_s,
+            }
+        )
+    return rows
+
+
+def bench_experiment(seed: int = 23) -> dict:
+    """Time the figure-MM comparison end to end (vectorized)."""
+    start_s = time.perf_counter()
+    result = figmm_multimodel.run(seed=seed)
+    elapsed_s = time.perf_counter() - start_s
+    return {
+        "offered": result.mixed.offered,
+        "mixed_throughput_qps": result.mixed_throughput_qps,
+        "static_throughput_qps": result.static_throughput_qps,
+        "swaps": result.mixed.swaps,
+        "thrash": result.mixed.thrash,
+        "residency_utilization": result.mixed.residency_utilization,
+        "wall_s": elapsed_s,
+    }
+
+
+def run_bench(
+    offered_targets: tuple[int, ...] = (10_000, 50_000, 200_000),
+) -> dict:
+    """Time both engines on shared workloads; returns the JSON report."""
+    return {
+        "bench": "multimodel",
+        "config": {
+            "replicas": [spec.name for spec in REPLICAS],
+            "models": [config.name for config in MODELS],
+            "mix": list(MIX),
+            "duration_s": DURATION_S,
+            "seed": SEED,
+        },
+        "router": bench_router(offered_targets),
+        "experiment": bench_experiment(),
+    }
+
+
+def check_floors(report: dict) -> None:
+    """Assert the modest never-slower floor at the largest size."""
+    largest = max(report["router"], key=lambda r: r["offered_target"])
+    assert largest["speedup"] >= VECTORIZED_FLOOR, (
+        f"vectorized speedup {largest['speedup']:.2f}x below "
+        f"{VECTORIZED_FLOOR:.2f}x floor at {largest['offered_target']:,}"
+    )
+
+
+def render(report: dict) -> str:
+    """Text tables of one bench report."""
+    rows = [
+        [
+            f"{r['offered']:,}",
+            f"{r['reference_s']:.3f}",
+            f"{r['vectorized_s']:.3f}",
+            f"{r['speedup']:.2f}x",
+        ]
+        for r in report["router"]
+    ]
+    config = report["config"]
+    parts = [
+        format_table(
+            ["offered", "reference s", "vectorized s", "speedup"],
+            rows,
+            title=(
+                f"Multi-model router wallclock, "
+                f"{len(config['replicas'])} replicas x "
+                f"{len(config['models'])} models (bit-identical records)"
+            ),
+        )
+    ]
+    exp = report.get("experiment")
+    if exp is not None:
+        parts.append(
+            f"figure MM end to end: {exp['offered']:,} offered, mixed "
+            f"{exp['mixed_throughput_qps']:.0f} qps vs static "
+            f"{exp['static_throughput_qps']:.0f} qps, {exp['swaps']} swaps "
+            f"({exp['thrash']} thrash), {exp['wall_s']:.2f} s wall"
+        )
+    return "\n".join(parts)
+
+
+@pytest.mark.perf
+def test_multimodel_perf():
+    """Small-size bench; asserts the engines agree and the floor holds."""
+    from conftest import emit
+
+    report = run_bench(offered_targets=(50_000,))
+    check_floors(report)
+    emit("Multi-model router: reference vs vectorized", render(report))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT, help="JSON report path"
+    )
+    parser.add_argument(
+        "--offered",
+        type=int,
+        nargs="+",
+        default=[10_000, 50_000, 200_000],
+        help="router offered-load sizes to time",
+    )
+    args = parser.parse_args(argv)
+    report = run_bench(tuple(args.offered))
+    check_floors(report)
+    print(render(report))
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

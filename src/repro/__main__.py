@@ -47,6 +47,7 @@ _ORDERED = [
     "figure14",
     "figure5",
     "fleet",
+    "multimodel",
 ]
 
 

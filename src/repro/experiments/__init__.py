@@ -23,6 +23,7 @@ from . import (
     fig11y_overload,
     fig12_ncf_comparison,
     fig14_trace_locality,
+    figmm_multimodel,
     fleet_day,
     micro_takeaways,
     table1_model_params,
@@ -45,6 +46,7 @@ REGISTRY = {
     "figure11y": fig11y_overload,
     "figure12": fig12_ncf_comparison,
     "figure14": fig14_trace_locality,
+    "multimodel": figmm_multimodel,
     "fleet": fleet_day,
     "table1": table1_model_params,
     "table2": table2_servers,

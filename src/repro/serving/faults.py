@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, replace
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -48,6 +48,9 @@ from ..hw.timing import TimingModel
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import NullTracer, Tracer, as_tracer
 from .metrics import SLA, ResilienceStats, goodput_qps
+
+if TYPE_CHECKING:
+    from .multimodel import MultiModelPool
 from .ranking_quality import pipeline_quality
 from .router import SERVICE_NOISE_SIGMA, pick_machine
 
@@ -613,11 +616,25 @@ class ResilientRouter:
         metrics: MetricsRegistry | None = None,
         metrics_labels: dict[str, str] | None = None,
         engine: str = "reference",
+        pool: "MultiModelPool | None" = None,
     ) -> None:
         from .des import validate_engine
 
         if num_machines < 1:
             raise ValueError("need at least one machine")
+        if pool is not None and config.name not in pool.model_names:
+            raise ValueError(
+                f"model {config.name!r} is not registered in the "
+                f"multi-model pool {pool.model_names}"
+            )
+        #: Optional :class:`~repro.serving.multimodel.MultiModelPool` this
+        #: single-model run belongs to. The pool is a capacity contract —
+        #: construction already proved the model fits a replica resident —
+        #: plus an observability hook; it never perturbs the simulation
+        #: (a run with a pool is record-for-record identical to one
+        #: without). Cross-model dispatch lives in
+        #: :class:`~repro.serving.multimodel.MultiModelRouter`.
+        self.pool = pool
         self.engine = validate_engine(engine)
         self.server = server
         self.config = config
@@ -761,12 +778,20 @@ class ResilientRouter:
         if self.engine == "vectorized":
             from .des import run_router_vectorized
 
-            return run_router_vectorized(
+            result = run_router_vectorized(
                 self, offered_qps, duration_s, faults, sla, arrival_times_s
             )
-        return self._run_reference(
-            offered_qps, duration_s, faults, sla, arrival_times_s
-        )
+        else:
+            result = self._run_reference(
+                offered_qps, duration_s, faults, sla, arrival_times_s
+            )
+        if self.pool is not None and self.metrics is not None:
+            self.metrics.gauge(
+                "serving.multimodel.capacity_slots",
+                model=self.config.name,
+                **self.metrics_labels,
+            ).set(float(self.pool.total_slots))
+        return result
 
     def _run_reference(
         self,

@@ -293,3 +293,141 @@ class ClosedLoopLoadGenerator:
             )
             for i in range(self.num_clients)
         ]
+
+
+@dataclass(frozen=True)
+class MixedQuery(Query):
+    """One inference request tagged with its model class.
+
+    Attributes:
+        model: name of the model class this request targets (must match a
+            :class:`~repro.serving.multimodel.MultiModelPool` model).
+    """
+
+    model: str = ""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.model:
+            raise ValueError("a mixed query needs a model class name")
+
+
+@dataclass(frozen=True)
+class ModelClassRate:
+    """Diurnal traffic profile of one model class.
+
+    Attributes:
+        name: model class name (matches a pool model).
+        mean_qps: cycle-average arrival rate for this class.
+        amplitude: relative diurnal swing in ``[0, 1]``.
+        phase_s: phase offset of this class's cycle — ranking and search
+            traffic peak at different hours, which is what makes
+            residency churn interesting.
+    """
+
+    name: str
+    mean_qps: float
+    amplitude: float = 0.5
+    phase_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a model class needs a name")
+        if self.mean_qps <= 0:
+            raise ValueError("rate must be positive")
+        if not 0.0 <= self.amplitude <= 1.0:
+            raise ValueError("amplitude must be in [0, 1]")
+
+
+class MixedModelLoadGenerator:
+    """Seeded mixed-model arrivals: one diurnal Poisson stream per class.
+
+    Each class rides its own sinusoid (rate, amplitude, and phase per
+    :class:`ModelClassRate`) over a shared period, realized exactly by
+    thinning (same scheme and seeding guarantees as
+    :class:`DiurnalLoadGenerator`), then the per-class streams are merged
+    into one time-ordered trace of :class:`MixedQuery`. Every class draws
+    from its own child generator seeded ``[seed, class_index]``, so the
+    trace — including the per-class substreams — is a pure function of
+    the seed and :meth:`generate` is repeatable call over call.
+
+    Args:
+        classes: one :class:`ModelClassRate` per model class.
+        period_s: shared diurnal period (simulations usually compress it).
+        num_items: items per query.
+        seed: RNG seed.
+    """
+
+    def __init__(
+        self,
+        classes: tuple[ModelClassRate, ...] | list[ModelClassRate],
+        period_s: float = 86_400.0,
+        num_items: int = 1,
+        seed: int = 0,
+    ) -> None:
+        if not classes:
+            raise ValueError("need at least one model class")
+        names = [cls.name for cls in classes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate model class names: {names}")
+        if period_s <= 0:
+            raise ValueError("period must be positive")
+        if num_items < 1:
+            raise ValueError("num_items must be positive")
+        self.classes = tuple(classes)
+        self.period_s = period_s
+        self.num_items = num_items
+        self.seed = seed
+
+    def rate_at(self, t_s: float, class_index: int) -> float:
+        """Instantaneous rate (qps) of one class at time ``t_s``."""
+        cls = self.classes[class_index]
+        return cls.mean_qps * (
+            1.0
+            + cls.amplitude
+            * float(np.sin(2.0 * np.pi * (t_s - cls.phase_s) / self.period_s))
+        )
+
+    def max_rate_qps(self, class_index: int) -> float:
+        """Thinning envelope of one class."""
+        cls = self.classes[class_index]
+        return cls.mean_qps * (1.0 + cls.amplitude)
+
+    def generate_by_class(self, duration_s: float) -> dict[str, list[float]]:
+        """Per-class arrival times — the substreams :meth:`generate` merges.
+
+        The static-partitioning arm of the ``multimodel`` experiment
+        feeds each class's substream to its own partition, so both arms
+        see byte-identical per-class traffic.
+        """
+        streams: dict[str, list[float]] = {}
+        for index, cls in enumerate(self.classes):
+            rng = np.random.default_rng([self.seed, index])
+            queries = _thinned_arrivals(
+                rng,
+                lambda t_s, i=index: self.rate_at(t_s, i),
+                self.max_rate_qps(index),
+                duration_s,
+                self.num_items,
+            )
+            streams[cls.name] = [q.arrival_s for q in queries]
+        return streams
+
+    def generate(self, duration_s: float) -> list[MixedQuery]:
+        """All queries within ``duration_s``, time-ordered across classes."""
+        streams = self.generate_by_class(duration_s)
+        tagged = [
+            (t_s, index, cls.name)
+            for index, cls in enumerate(self.classes)
+            for t_s in streams[cls.name]
+        ]
+        tagged.sort(key=lambda item: (item[0], item[1]))
+        return [
+            MixedQuery(
+                query_id=qid,
+                arrival_s=t_s,
+                num_items=self.num_items,
+                model=name,
+            )
+            for qid, (t_s, _, name) in enumerate(tagged)
+        ]

@@ -67,6 +67,17 @@ class TestCapacityPlanning:
         with pytest.raises(ValueError):
             min_shards_for_capacity(RMC2_SMALL, BROADWELL, dram_headroom=0.0)
 
+    def test_rejects_negative_headroom(self):
+        with pytest.raises(ValueError, match="dram_headroom"):
+            min_shards_for_capacity(RMC2_SMALL, BROADWELL, dram_headroom=-0.5)
+
+    def test_rejects_headroom_above_one(self):
+        with pytest.raises(ValueError, match="dram_headroom"):
+            min_shards_for_capacity(RMC2_SMALL, BROADWELL, dram_headroom=1.5)
+
+    def test_accepts_full_headroom(self):
+        assert min_shards_for_capacity(RMC2_SMALL, BROADWELL, dram_headroom=1.0) == 1
+
 
 class TestDistributedLatency:
     def test_sharding_reduces_sls_time(self):

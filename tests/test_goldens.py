@@ -14,6 +14,7 @@ from repro.experiments import (
     fig11x_faults,
     fig11y_overload,
     fig14_trace_locality,
+    figmm_multimodel,
     fleet_day,
 )
 
@@ -262,3 +263,42 @@ def test_fleet_day_golden(golden):
         ],
     }
     golden("fleet_day", payload)
+
+
+def _multimodel_payload(result):
+    mixed = result.mixed.summary()
+    mixed.pop("engine")  # engine-invariant by contract
+    return {
+        "replicas": list(result.replica_names),
+        "models": list(result.model_names),
+        "partition": list(result.partition),
+        "mixed": mixed,
+        "mixed_extras": {
+            "hol_bypasses": result.mixed.hol_bypasses,
+            "drain_claims": result.mixed.drain_claims,
+            "busy_utilization": result.mixed.busy_utilization,
+        },
+        "static": {
+            name: {
+                key: value
+                for key, value in result.static_by_model[i].summary().items()
+                if key != "engine"
+            }
+            for i, name in enumerate(result.model_names)
+        },
+        "static_throughput_qps": result.static_throughput_qps,
+        "static_residency_utilization": result.static_residency_utilization,
+    }
+
+
+def test_multimodel_golden(golden):
+    golden("multimodel", _multimodel_payload(figmm_multimodel.run()))
+
+
+def test_multimodel_golden_engine_invariant(golden):
+    # The same golden must hold for the reference engine: the figure is
+    # bit-identical across engines by the DES contract.
+    golden(
+        "multimodel",
+        _multimodel_payload(figmm_multimodel.run(engine="reference")),
+    )

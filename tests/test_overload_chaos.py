@@ -20,14 +20,16 @@ import os
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.config import RMC1_SMALL
-from repro.hw import BROADWELL
+from repro.config import RMC1_SMALL, RMC2_SMALL, RMC3_SMALL
+from repro.hw import BROADWELL, SKYLAKE
 from repro.serving import (
     SLA,
     AdmissionPolicy,
     BreakerPolicy,
     BrownoutPolicy,
     FaultSchedule,
+    MultiModelPool,
+    MultiModelRouter,
     OverloadConfig,
     ReplicaCrash,
     ResiliencePolicy,
@@ -272,3 +274,122 @@ class TestSimulatorChaos:
             assert result.max_queue_depth <= capacity
         else:
             assert result.shed == 0
+
+
+MM_REPLICAS = (BROADWELL, SKYLAKE)
+MM_MODELS = (RMC1_SMALL, RMC2_SMALL, RMC3_SMALL)
+
+
+def multimodel_pools() -> st.SearchStrategy[MultiModelPool]:
+    """Small heterogeneous pools; sometimes slot-starved to force swaps."""
+    return st.builds(
+        MultiModelPool,
+        st.just(MM_REPLICAS),
+        st.just(MM_MODELS),
+        slots_per_replica=st.integers(1, 3),
+        thrash_window_s=st.floats(0.01, 0.2),
+    )
+
+
+class TestMultiModelChaos:
+    @CHAOS
+    @given(
+        pool=multimodel_pools(),
+        admission=st.one_of(st.none(), admission_policies()),
+        faults=fault_schedules(),
+        load_factor=st.floats(0.3, 6.0),
+        weight=st.floats(0.05, 0.95),
+        seed=st.integers(0, 2**16),
+        engine=st.sampled_from(("reference", "vectorized")),
+    )
+    def test_per_model_conservation(
+        self, pool, admission, faults, load_factor, weight, seed, engine
+    ):
+        overload = (
+            None if admission is None else OverloadConfig(admission=admission)
+        )
+        router = MultiModelRouter(
+            pool, overload=overload, seed=seed, engine=engine
+        )
+        result = router.run(
+            DURATION_S,
+            offered_qps=load_factor * len(MM_REPLICAS) / SERVICE_S,
+            mix=(weight, 1.0 - weight, weight / 2),
+            faults=faults,
+        )
+        # Per-model books: every request reaches a terminal state.
+        for i in range(len(MM_MODELS)):
+            assert result.offered_by_model[i] == (
+                result.completed_by_model[i]
+                + result.shed_by_model[i]
+                + result.killed_by_model[i]
+            )
+            assert len(result.latencies_by_model[i]) == (
+                result.completed_by_model[i]
+            )
+        pool.verify_occupancy()
+        resident, loading, draining, slots = pool.occupancy()
+        assert resident + loading + draining <= slots
+        # Overload ledger (admission-only): door outcomes partition the
+        # offered attempts; evictions and CoDel shed admitted work.
+        if result.overload is not None:
+            ovl = result.overload
+            door_shed = ovl.shed_by_reason.get(
+                "queue_full", 0
+            ) + ovl.shed_by_reason.get("deadline_hopeless", 0)
+            assert ovl.admitted + door_shed == ovl.offered
+            assert ovl.shed == sum(ovl.shed_by_reason.values())
+
+    @CHAOS
+    @given(
+        faults=fault_schedules(),
+        load_factor=st.floats(0.3, 6.0),
+        seed=st.integers(0, 2**16),
+        engine=st.sampled_from(("reference", "vectorized")),
+    )
+    def test_single_model_pool_is_observationally_inert(
+        self, faults, load_factor, seed, engine
+    ):
+        """``pool=`` must leave single-model runs record-for-record equal."""
+        pool = MultiModelPool(MM_REPLICAS, (RMC1_SMALL,), slots_per_replica=1)
+
+        def run_router(pool_arg):
+            return ResilientRouter(
+                BROADWELL,
+                RMC1_SMALL,
+                8,
+                NUM_MACHINES,
+                seed=seed,
+                engine=engine,
+                pool=pool_arg,
+            ).run(
+                offered_qps=load_factor * NUM_MACHINES / SERVICE_S,
+                duration_s=DURATION_S,
+                faults=faults,
+                sla=SLA(deadline_s=25.0 * SERVICE_S),
+            )
+
+        with_pool, without = run_router(pool), run_router(None)
+        assert with_pool.offered == without.offered
+        assert with_pool.completed == without.completed
+        assert list(with_pool.latencies_s) == list(without.latencies_s)
+
+        def run_sim(pool_arg):
+            return ServingSimulator(
+                BROADWELL,
+                RMC1_SMALL,
+                batch_size=8,
+                num_instances=NUM_MACHINES,
+                per_instance_qps=load_factor / SERVICE_S,
+                seed=seed,
+                faults=faults,
+                engine=engine,
+                pool=pool_arg,
+            ).run(duration_s=DURATION_S)
+
+        sim_with, sim_without = run_sim(pool), run_sim(None)
+        assert sim_with.offered == sim_without.offered
+        # RecordBatch (vectorized) and list[InferenceRecord] (reference)
+        # are duck-compatible: indexing yields comparable records.
+        assert list(sim_with.records) == list(sim_without.records)
+        assert list(sim_with.latencies_s()) == list(sim_without.latencies_s())
