@@ -44,6 +44,7 @@ _ORDERED = [
     "figure11",
     "figure11x",
     "figure11y",
+    "figure11z",
     "figure14",
     "figure5",
     "fleet",

@@ -21,6 +21,7 @@ from . import (
     fig11_tail_latency,
     fig11x_faults,
     fig11y_overload,
+    fig11z_domains,
     fig12_ncf_comparison,
     fig14_trace_locality,
     figmm_multimodel,
@@ -44,6 +45,7 @@ REGISTRY = {
     "figure11": fig11_tail_latency,
     "figure11x": fig11x_faults,
     "figure11y": fig11y_overload,
+    "figure11z": fig11z_domains,
     "figure12": fig12_ncf_comparison,
     "figure14": fig14_trace_locality,
     "multimodel": figmm_multimodel,

@@ -233,3 +233,78 @@ def worst_single_pool_loss(
         failures[i] = min(lost_machines, pool.count)
         worst = min(worst, survivable_capacity(pools, demands, failures).served_scale)
     return worst
+
+
+def domain_failures(
+    pools: list[MachinePool],
+    topology,
+    kind: str,
+    domain_id: int,
+) -> list[int]:
+    """Per-pool machine-loss counts when one failure domain dies.
+
+    Machines are indexed globally pool-by-pool in order (pool 0 holds
+    replicas ``0..count0-1`` of the topology, and so on), so the
+    topology's replica→domain assignment decides which pools the domain
+    cuts across — the correlated-loss shape pool-granularity math
+    cannot express.
+    """
+    total = sum(pool.count for pool in pools)
+    if topology.num_replicas != total:
+        raise ValueError(
+            f"topology covers {topology.num_replicas} replicas, pools "
+            f"hold {total} machines"
+        )
+    victims = set(topology.replicas_in(kind, domain_id))
+    failures = []
+    first = 0
+    for pool in pools:
+        failures.append(
+            sum(1 for r in range(first, first + pool.count) if r in victims)
+        )
+        first += pool.count
+    return failures
+
+
+def domain_survivable_capacity(
+    pools: list[MachinePool],
+    demands: list[WorkloadDemand],
+    topology,
+    kind: str,
+    domain_id: int,
+) -> ClusterPlan:
+    """Aware-scheduled capacity after one failure domain dies.
+
+    The domain-granularity sibling of :func:`survivable_capacity`:
+    instead of assuming losses align with generation pools, the blast
+    radius comes from a :class:`~repro.serving.domains.FleetTopology`.
+    With a one-rack-per-pool topology this reduces exactly to the
+    whole-pool loss of the pool-granularity path (cross-checked in
+    tests).
+    """
+    return survivable_capacity(
+        pools, demands, domain_failures(pools, topology, kind, domain_id)
+    )
+
+
+def worst_single_domain_loss(
+    pools: list[MachinePool],
+    demands: list[WorkloadDemand],
+    topology,
+    kind: str,
+) -> float:
+    """Worst-case served scale after any single domain of ``kind`` dies.
+
+    The domain-granularity sibling of :func:`worst_single_pool_loss`:
+    the scale a planner can still promise when any one host, rack or
+    zone goes dark at once.
+    """
+    worst = float("inf")
+    for domain_id in range(topology.num_domains(kind)):
+        worst = min(
+            worst,
+            domain_survivable_capacity(
+                pools, demands, topology, kind, domain_id
+            ).served_scale,
+        )
+    return worst

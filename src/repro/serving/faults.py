@@ -248,17 +248,34 @@ def fault_storm(
     bandwidth_dip_count: int = 1,
     bandwidth_fraction: tuple[float, float] = (0.3, 0.6),
     bandwidth_duration_frac: tuple[float, float] = (0.1, 0.3),
+    topology=None,
+    correlation: float = 0.0,
+    correlation_kind: str = "rack",
 ) -> FaultSchedule:
     """Draw a random fault storm from a dedicated seeded stream.
 
     Interval lengths are drawn as *fractions* of ``duration_s`` (the
     ``*_frac`` ranges) so the same storm shape scales with the simulated
     horizon; counts are exact.
+
+    With a :class:`~repro.serving.domains.FleetTopology` and a positive
+    ``correlation``, each drawn crash/straggler *escalates* with that
+    probability to every replica sharing the victim's ``correlation_kind``
+    domain (rack power events instead of lone machine deaths). The base
+    draws happen first and are untouched, so ``correlation=0.0`` output is
+    byte-identical to the independent storm regardless of ``topology``.
     """
     if num_replicas < 1:
         raise ValueError("need at least one replica")
     if duration_s <= 0:
         raise ValueError("duration must be positive")
+    if not 0.0 <= correlation <= 1.0:
+        raise ValueError("correlation must be in [0, 1]")
+    if topology is not None and topology.num_replicas != num_replicas:
+        raise ValueError(
+            f"topology covers {topology.num_replicas} replicas, "
+            f"storm covers {num_replicas}"
+        )
     rng = np.random.default_rng(seed)
 
     def interval_s(frac_range: tuple[float, float]) -> float:
@@ -290,6 +307,34 @@ def fault_storm(
         )
         for _ in range(bandwidth_dip_count)
     )
+    if topology is not None and correlation > 0.0:
+        # Escalation draws come after every base draw, preserving the
+        # base stream; each escalated event clones its interval onto the
+        # whole domain (bandwidth dips are already fleet-wide).
+        escalated_crashes: list[ReplicaCrash] = []
+        for crash in crashes:
+            if float(rng.uniform()) < correlation:
+                domain_id = topology.domain_of(crash.replica_id, correlation_kind)
+                escalated_crashes.extend(
+                    replace(crash, replica_id=r)
+                    for r in topology.replicas_in(correlation_kind, domain_id)
+                )
+            else:
+                escalated_crashes.append(crash)
+        escalated_stragglers: list[Straggler] = []
+        for straggler in stragglers:
+            if float(rng.uniform()) < correlation:
+                domain_id = topology.domain_of(
+                    straggler.replica_id, correlation_kind
+                )
+                escalated_stragglers.extend(
+                    replace(straggler, replica_id=r)
+                    for r in topology.replicas_in(correlation_kind, domain_id)
+                )
+            else:
+                escalated_stragglers.append(straggler)
+        crashes = tuple(escalated_crashes)
+        stragglers = tuple(escalated_stragglers)
     return FaultSchedule(crashes, stragglers, bandwidth_faults)
 
 

@@ -27,6 +27,7 @@ from repro.serving import (
     BreakerPolicy,
     BrownoutPolicy,
     FaultSchedule,
+    FleetTopology,
     OverloadConfig,
     ReplicaCrash,
     ResiliencePolicy,
@@ -35,6 +36,8 @@ from repro.serving import (
     Straggler,
     check_conservation,
     default_brownout_tiers,
+    domain_storm,
+    fault_storm,
 )
 from repro.serving._des_native import native_available
 
@@ -413,6 +416,76 @@ class TestRouterEquivalence:
             )
             dumps.append(dumps_chrome(tracer))
         assert dumps[0] == dumps[1]
+
+
+class TestCorrelatedScheduleEquivalence:
+    """Domain schedules lower to plain fault primitives, so the two-engine
+    bit-identity proof must keep holding on correlated storms too."""
+
+    TOPOLOGY = FleetTopology(
+        num_replicas=NUM_MACHINES,
+        replicas_per_host=1,
+        hosts_per_rack=2,
+        racks_per_zone=1,
+    )
+
+    @EQUIV
+    @given(
+        storm_seed=st.integers(0, 2**16),
+        load_factor=st.floats(0.3, 6.0),
+        timeout_factor=st.one_of(st.none(), st.floats(10.0, 60.0)),
+        seed=st.integers(0, 2**16),
+    )
+    def test_expanded_domain_storms_bit_identical(
+        self, storm_seed, load_factor, timeout_factor, seed
+    ):
+        storm = domain_storm(self.TOPOLOGY, DURATION_S, seed=storm_seed)
+        faults = storm.expand_to_schedule(self.TOPOLOGY)
+        policy = (
+            ResiliencePolicy.none()
+            if timeout_factor is None
+            else ResiliencePolicy(
+                timeout_s=timeout_factor * SERVICE_S,
+                max_retries=1,
+                backoff_base_s=SERVICE_S,
+            )
+        )
+        ref_key, ref = run_router(
+            "reference", "round_robin", load_factor, policy, None, faults,
+            seed,
+        )
+        vec_key, vec = run_router(
+            "vectorized", "round_robin", load_factor, policy, None, faults,
+            seed,
+        )
+        assert ref_key == vec_key
+        check_conservation(vec.offered, vec.completed, failed=vec.failed)
+
+    @EQUIV
+    @given(
+        storm_seed=st.integers(0, 2**16),
+        correlation=st.floats(0.0, 1.0),
+        load_factor=st.floats(0.3, 6.0),
+        seed=st.integers(0, 2**16),
+    )
+    def test_correlated_fault_storms_bit_identical(
+        self, storm_seed, correlation, load_factor, seed
+    ):
+        faults = fault_storm(
+            NUM_MACHINES,
+            DURATION_S,
+            seed=storm_seed,
+            topology=self.TOPOLOGY,
+            correlation=correlation,
+        )
+        keys = [
+            run_router(
+                engine, "round_robin", load_factor,
+                ResiliencePolicy.none(), None, faults, seed,
+            )[0]
+            for engine in ("reference", "vectorized")
+        ]
+        assert keys[0] == keys[1]
 
 
 class TestFleetDayEquivalence:

@@ -13,6 +13,7 @@ from repro.experiments import (
     fig11_tail_latency,
     fig11x_faults,
     fig11y_overload,
+    fig11z_domains,
     fig14_trace_locality,
     figmm_multimodel,
     fleet_day,
@@ -186,6 +187,44 @@ def test_fig11y_overload_golden(golden):
     golden("fig11y_overload", _fig11y_payload(result))
 
 
+def _fig11z_payload(result):
+    return {
+        "server": result.server_name,
+        "model": result.model_name,
+        "num_machines": result.num_machines,
+        "num_shards": result.num_shards,
+        "offered_qps": result.offered_qps,
+        "duration_s": result.duration_s,
+        "sla_deadline_s": result.sla_deadline_s,
+        "cells": {
+            key: {
+                "spread": cell.spread,
+                "availability": cell.stats.availability,
+                "p50_s": cell.summary.p50,
+                "p99_s": cell.summary.p99,
+                "offered": cell.stats.offered,
+                "completed": cell.stats.completed,
+                "failed": cell.stats.failed,
+                "unresolved": cell.unresolved,
+                "blackout_s": cell.blackout_s,
+                "failover_s": cell.failover_s,
+                "max_failover_hops": cell.max_failover_hops,
+                "lost_tables": list(cell.lost_tables),
+                "ndcg_at_k": cell.quality["ndcg_at_k"],
+                "time_to_full_redundancy_s": cell.time_to_full_redundancy_s,
+                "recovery_transfers": cell.recovery_transfers,
+                "cold_reloads": cell.cold_reloads,
+            }
+            for key, cell in sorted(result.cells.items())
+        },
+    }
+
+
+def test_fig11z_domains_golden(golden):
+    result = fig11z_domains.run(duration_s=0.4, seed=11)
+    golden("fig11z_domains", _fig11z_payload(result))
+
+
 # --- Engine byte-identity against the checked-in goldens -------------------
 #
 # The goldens above were recorded with the reference DES engine. Re-running
@@ -218,6 +257,11 @@ def test_fig11y_vectorized_engine_matches_golden(golden):
         duration_s=0.25, seed=11, engine="vectorized"
     )
     golden("fig11y_overload", _fig11y_payload(result))
+
+
+def test_fig11z_vectorized_engine_matches_golden(golden):
+    result = fig11z_domains.run(duration_s=0.4, seed=11, engine="vectorized")
+    golden("fig11z_domains", _fig11z_payload(result))
 
 
 def test_fleet_day_golden(golden):

@@ -28,8 +28,10 @@ from repro.serving import (
     BreakerPolicy,
     BrownoutPolicy,
     FaultSchedule,
+    FleetTopology,
     MultiModelPool,
     MultiModelRouter,
+    NetworkConfig,
     OverloadConfig,
     ReplicaCrash,
     ResiliencePolicy,
@@ -38,6 +40,11 @@ from repro.serving import (
     Straggler,
     check_conservation,
     default_brownout_tiers,
+    domain_storm,
+    fault_storm,
+    recovery_timeline,
+    replicate_shards,
+    shard_tables,
 )
 
 NUM_MACHINES = 3
@@ -274,6 +281,153 @@ class TestSimulatorChaos:
             assert result.max_queue_depth <= capacity
         else:
             assert result.shed == 0
+
+
+#: Every replica its own host/rack/zone: any replication factor ≤ 3 is
+#: feasible and every domain kind has several domains to storm.
+DOMAIN_TOPOLOGY = FleetTopology(
+    num_replicas=NUM_MACHINES,
+    replicas_per_host=1,
+    hosts_per_rack=1,
+    racks_per_zone=1,
+)
+
+
+def correlated_schedules() -> st.SearchStrategy[FaultSchedule]:
+    """Correlated storms lowered to plain schedules, both generators."""
+    expanded = st.integers(0, 2**16).map(
+        lambda s: domain_storm(
+            DOMAIN_TOPOLOGY, DURATION_S, seed=s
+        ).expand_to_schedule(DOMAIN_TOPOLOGY)
+    )
+    escalated = st.tuples(
+        st.integers(0, 2**16), st.floats(0.0, 1.0)
+    ).map(
+        lambda args: fault_storm(
+            NUM_MACHINES,
+            DURATION_S,
+            seed=args[0],
+            topology=DOMAIN_TOPOLOGY,
+            correlation=args[1],
+            correlation_kind="zone",
+        )
+    )
+    return st.one_of(expanded, escalated)
+
+
+class TestDomainChaos:
+    @CHAOS
+    @given(
+        faults=correlated_schedules(),
+        overload=overload_configs(),
+        load_factor=st.floats(0.3, 6.0),
+        seed=st.integers(0, 2**16),
+        engine=st.sampled_from(("reference", "vectorized")),
+    )
+    def test_correlated_schedules_conserve_requests(
+        self, faults, overload, load_factor, seed, engine
+    ):
+        router = ResilientRouter(
+            BROADWELL,
+            RMC1_SMALL,
+            8,
+            NUM_MACHINES,
+            policy=ResiliencePolicy(
+                timeout_s=30.0 * SERVICE_S,
+                max_retries=1,
+                backoff_base_s=SERVICE_S,
+            ),
+            overload=overload,
+            seed=seed,
+            engine=engine,
+        )
+        result = router.run(
+            offered_qps=load_factor * NUM_MACHINES / SERVICE_S,
+            duration_s=DURATION_S,
+            faults=faults,
+            sla=SLA(deadline_s=25.0 * SERVICE_S),
+        )
+        assert result.unresolved >= 0
+        assert result.offered == (
+            result.completed + result.failed + result.unresolved
+        )
+
+    @CHAOS
+    @given(
+        storm_seed=st.integers(0, 2**16),
+        replication_factor=st.integers(1, 3),
+        num_shards=st.integers(1, 2),
+        load_factor=st.floats(0.3, 4.0),
+        seed=st.integers(0, 2**16),
+        engine=st.sampled_from(("reference", "vectorized")),
+    )
+    def test_replicated_shard_recovery_books_balance(
+        self,
+        storm_seed,
+        replication_factor,
+        num_shards,
+        load_factor,
+        seed,
+        engine,
+    ):
+        """Whatever the storm, the recovery timeline stays consistent and
+        the compiled schedule still conserves requests on either engine."""
+        from repro.experiments.fig11z_domains import _compile_schedule
+
+        events = domain_storm(DOMAIN_TOPOLOGY, DURATION_S, seed=storm_seed)
+        plan = shard_tables(RMC1_SMALL, num_shards)
+        replication = replicate_shards(
+            plan, DOMAIN_TOPOLOGY, replication_factor
+        )
+        timeline = recovery_timeline(
+            BROADWELL, RMC1_SMALL, replication, DOMAIN_TOPOLOGY, events
+        )
+        # Timeline books: transfers ordered, down-intervals disjoint,
+        # segments tile the horizon.
+        for transfer in timeline.transfers:
+            assert transfer.lost_at_s <= transfer.start_s < transfer.done_s
+        assert timeline.time_to_full_redundancy_s == max(
+            (t.done_s for t in timeline.transfers), default=0.0
+        )
+        for per_copy in timeline.copy_down_intervals:
+            for intervals in per_copy:
+                for (a0, b0), (a1, _) in zip(intervals, intervals[1:]):
+                    assert a0 < b0 <= a1
+        horizon_s = max(
+            (t.done_s for t in timeline.transfers), default=DURATION_S
+        ) + DURATION_S
+        segments = timeline.service_segments(horizon_s)
+        assert segments[0].start_s == 0.0
+        assert segments[-1].end_s == horizon_s
+        for left, right in zip(segments, segments[1:]):
+            assert left.end_s == right.start_s
+        assert 0.0 <= timeline.blackout_s(horizon_s) <= horizon_s
+        # The compiled schedule conserves requests like any other.
+        schedule, blackout_s, failover_s, _, _ = _compile_schedule(
+            events,
+            DOMAIN_TOPOLOGY,
+            timeline,
+            DURATION_S,
+            SERVICE_S,
+            NetworkConfig(),
+        )
+        assert blackout_s >= 0.0 and failover_s >= 0.0
+        result = ResilientRouter(
+            BROADWELL,
+            RMC1_SMALL,
+            8,
+            NUM_MACHINES,
+            seed=seed,
+            engine=engine,
+        ).run(
+            offered_qps=load_factor * NUM_MACHINES / SERVICE_S,
+            duration_s=DURATION_S,
+            faults=schedule,
+            sla=SLA(deadline_s=25.0 * SERVICE_S),
+        )
+        assert result.offered == (
+            result.completed + result.failed + result.unresolved
+        )
 
 
 MM_REPLICAS = (BROADWELL, SKYLAKE)
