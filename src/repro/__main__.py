@@ -46,6 +46,7 @@ _ORDERED = [
     "figure11y",
     "figure11z",
     "figure14",
+    "fignmp",
     "figure5",
     "fleet",
     "multimodel",

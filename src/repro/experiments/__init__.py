@@ -25,6 +25,7 @@ from . import (
     fig12_ncf_comparison,
     fig14_trace_locality,
     figmm_multimodel,
+    fignmp_near_memory,
     fleet_day,
     micro_takeaways,
     table1_model_params,
@@ -49,6 +50,7 @@ REGISTRY = {
     "figure12": fig12_ncf_comparison,
     "figure14": fig14_trace_locality,
     "multimodel": figmm_multimodel,
+    "fignmp": fignmp_near_memory,
     "fleet": fleet_day,
     "table1": table1_model_params,
     "table2": table2_servers,

@@ -46,6 +46,7 @@ from .server import ServerSpec
 from .simd import _interp_log_batch, effective_gflops
 
 if TYPE_CHECKING:
+    from ..memory.near_memory import NmpGeometry
     from ..obs.profile import OpProfiler
 
 #: Framework dispatch overhead per operator invocation (seconds).
@@ -130,12 +131,30 @@ class TimingModel:
             set, every operator this model prices is reported to it with
             its simulated cycles and the bytes it touches. Profiling is
             observational only — it never changes a priced latency.
+        nmp: optional :class:`~repro.memory.near_memory.NmpGeometry`;
+            when set, SLS operators are priced on the near-memory backend
+            (rank-parallel DIMM-side gathers, see
+            :mod:`repro.memory.near_memory`) instead of the host cache
+            hierarchy. ``nmp=None`` (the default) is a bit-identical
+            off-switch: no code path changes. With NMP, the
+            ``hit_ratio`` passed to :meth:`sls_time` means the DIMM-side
+            hot-row cache hit fraction (trace-temporal reuse), not LLC
+            residency — :meth:`model_latency`'s default derivation
+            therefore uses only ``locality_hit_ratio`` when NMP is on,
+            since capacity residency in the host LLC is irrelevant to
+            DIMM-side execution.
     """
 
-    def __init__(self, server: ServerSpec, profiler: "OpProfiler | None" = None) -> None:
+    def __init__(
+        self,
+        server: ServerSpec,
+        profiler: "OpProfiler | None" = None,
+        nmp: "NmpGeometry | None" = None,
+    ) -> None:
         self.server = server
         self.contention = ContentionModel(server)
         self.profiler = profiler
+        self.nmp = nmp
 
     def _profile_op(self, op: OperatorTime, bytes_moved: float) -> OperatorTime:
         """Report a priced operator to the attached profiler, if any."""
@@ -288,6 +307,45 @@ class TimingModel:
         )
         return capacity + (1.0 - capacity) * locality_hit_ratio
 
+    def _nmp_sls_time(
+        self,
+        name: str,
+        lookups_per_sample: int,
+        embedding_dim: int,
+        batch: int,
+        hit_ratio: float,
+        dtype_bytes: int,
+    ) -> OperatorTime:
+        """SLS priced on the near-memory backend (analytic expectation).
+
+        Each of the ``batch`` pools spreads its lookups over every rank
+        (the uniform expectation of the low-order interleave placement);
+        ``hit_ratio`` is the DIMM-side hot-row cache hit fraction. The
+        full trace-driven engine
+        (:class:`~repro.memory.near_memory.NearMemorySystem`) refines
+        this with actual placement skew and LRU hot-cache behaviour —
+        :func:`~repro.memory.near_memory.amdahl_crosscheck` proves the
+        two agree in the uniform-locality/no-contention limit.
+        """
+        geometry = self.nmp
+        per_lookup_ns = hit_ratio * geometry.hot_hit_ns
+        per_lookup_ns += (1.0 - hit_ratio) * geometry.rank_gather_ns
+        gather_s = (
+            batch * lookups_per_sample * per_lookup_ns / geometry.num_ranks * 1e-9
+        )
+        launch_s = batch * geometry.pool_overhead_ns * 1e-9
+        op = OperatorTime(
+            name=name,
+            op_type=OP_SLS,
+            seconds=gather_s + launch_s + OP_OVERHEAD_S,
+            compute_seconds=launch_s,
+            memory_seconds=gather_s,
+        )
+        # Only the pooled vectors cross the memory bus — that reduction
+        # in bus traffic is the point of near-memory execution.
+        pooled_bytes = batch * max(64, embedding_dim * dtype_bytes)
+        return self._profile_op(op, pooled_bytes)
+
     def sls_time(
         self,
         name: str,
@@ -299,6 +357,12 @@ class TimingModel:
         dtype_bytes: int = 4,
     ) -> OperatorTime:
         """Latency of one SparseLengthsSum invocation."""
+        if self.nmp is not None:
+            if not 0.0 <= hit_ratio <= 1.0:
+                raise ValueError("hit_ratio must be in [0, 1]")
+            return self._nmp_sls_time(
+                name, lookups_per_sample, embedding_dim, batch, hit_ratio, dtype_bytes
+            )
         lookup_ns = self.sls_lookup_ns(embedding_dim, batch, state, hit_ratio, dtype_bytes)
         total_lookups = batch * lookups_per_sample
         seconds = total_lookups * lookup_ns * 1e-9 + OP_OVERHEAD_S
@@ -405,9 +469,15 @@ class TimingModel:
                 without capacity residency.
         """
         if sls_hit_ratio is None:
-            sls_hit_ratio = self.table_hit_ratio(
-                config.embedding_storage_bytes(), locality_hit_ratio
-            )
+            if self.nmp is not None:
+                # DIMM-side execution: host-LLC capacity residency is
+                # irrelevant, only trace-temporal reuse reaches the
+                # per-DIMM hot-row caches.
+                sls_hit_ratio = locality_hit_ratio
+            else:
+                sls_hit_ratio = self.table_hit_ratio(
+                    config.embedding_storage_bytes(), locality_hit_ratio
+                )
         per_op = tuple(
             self.op_time(spec, batch, state, sls_hit_ratio)
             for spec in config_ops(config)

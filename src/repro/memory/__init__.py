@@ -8,7 +8,17 @@ from .embedding_cache import (
     StaticHotRowCache,
     sweep_cache_sizes,
 )
-from .near_memory import NmpConfig, NmpSpeedupResult, nmp_speedup
+from .near_memory import (
+    AmdahlCrossCheck,
+    NearMemorySystem,
+    NmpConfig,
+    NmpGeometry,
+    NmpReplayResult,
+    NmpSpeedupResult,
+    amdahl_crosscheck,
+    nmp_speedup,
+)
+from .nmp_native import nmp_native_available
 from .sizing import SizingPlan, SizingPoint, plan_cache_size
 from .tiering import (
     DRAM_ROW_NS,
@@ -26,8 +36,14 @@ __all__ = [
     "RowCache",
     "StaticHotRowCache",
     "sweep_cache_sizes",
+    "AmdahlCrossCheck",
+    "NearMemorySystem",
     "NmpConfig",
+    "NmpGeometry",
+    "NmpReplayResult",
     "NmpSpeedupResult",
+    "amdahl_crosscheck",
+    "nmp_native_available",
     "nmp_speedup",
     "SizingPlan",
     "SizingPoint",

@@ -24,7 +24,8 @@ class TestRegistry:
         expected = {
             "figure1", "figure2", "figure4", "figure5", "figure7", "figure8",
             "figure9", "figure10", "figure11", "figure11x", "figure11y",
-            "figure11z", "figure12", "figure14", "fleet", "multimodel",
+            "figure11z", "figure12", "figure14", "fignmp", "fleet",
+            "multimodel",
             "table1", "table2", "table3", "micro", "configspace", "whatif",
         }
         assert set(REGISTRY) == expected

@@ -16,6 +16,7 @@ from repro.experiments import (
     fig11z_domains,
     fig14_trace_locality,
     figmm_multimodel,
+    fignmp_near_memory,
     fleet_day,
 )
 
@@ -337,6 +338,49 @@ def _multimodel_payload(result):
 
 def test_multimodel_golden(golden):
     golden("multimodel", _multimodel_payload(figmm_multimodel.run()))
+
+
+def _fignmp_payload(result):
+    return {
+        "server": result.server_name,
+        "batch_size": result.batch_size,
+        "num_ranks": result.geometry.num_ranks,
+        "cells": {
+            f"{cell.model_name}/{cell.trace_name}": {
+                "unique_fraction": cell.unique_fraction,
+                "sls_share": cell.sls_share,
+                "baseline_seconds": cell.baseline_seconds,
+                "nmp_seconds": cell.nmp_seconds,
+                "amdahl_seconds": cell.amdahl_seconds,
+                "hot_hit_ratio": cell.hot_hit_ratio,
+                "rank_imbalance": cell.rank_imbalance,
+                "engine_speedup": cell.engine_speedup,
+                "amdahl_speedup": cell.amdahl_speedup,
+            }
+            for cell in result.cells
+        },
+        "fleet": {
+            "projection_trace": result.fleet.projection_trace,
+            "class_shares": dict(sorted(result.fleet.class_shares.items())),
+            "class_speedups": dict(sorted(result.fleet.class_speedups.items())),
+            "fleet_speedup": result.fleet.fleet_speedup,
+            "cycles_returned": result.fleet.cycles_returned,
+        },
+    }
+
+
+def test_fignmp_golden(golden):
+    result = fignmp_near_memory.run(table_rows=100_000, trace_length=10_000)
+    golden("fignmp", _fignmp_payload(result))
+
+
+def test_fignmp_golden_engine_invariant(golden):
+    # The NMP engines are bit-identical by contract, so the reference
+    # engine must reproduce the vectorized golden byte for byte.
+    result = fignmp_near_memory.run(
+        table_rows=100_000, trace_length=10_000, engine="reference"
+    )
+    golden("fignmp", _fignmp_payload(result))
 
 
 def test_multimodel_golden_engine_invariant(golden):
